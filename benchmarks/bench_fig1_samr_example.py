@@ -1,0 +1,76 @@
+"""Figure 1: the SAMR example — tree structure and composite solution.
+
+The paper's Fig. 1 shows a root grid with two subgrids (half the mesh
+spacing) and one sub-subgrid, with the tree on the left and the composite
+solution on the right.  This bench constructs exactly that configuration
+(in 3-d), prints the tree, and verifies the composite-resolution map.
+"""
+
+import numpy as np
+
+from repro.amr import Grid, Hierarchy
+from repro.amr.boundary import set_boundary_values
+
+
+def build_fig1_hierarchy():
+    """Root + two level-1 subgrids + one level-2 sub-subgrid (r = 2)."""
+    h = Hierarchy(n_root=8)
+    a = Grid(1, (2, 2, 6), (6, 6, 4), n_root=8)  # subgrid 1
+    b = Grid(1, (8, 8, 4), (6, 6, 6), n_root=8)  # subgrid 2
+    h.add_grid(a, h.root)
+    h.add_grid(b, h.root)
+    c = Grid(2, (20, 20, 12), (6, 6, 6), n_root=8)  # sub-subgrid inside b
+    h.add_grid(c, b)
+    set_boundary_values(h, 0)
+    return h
+
+
+def print_tree(h):
+    lines = ["hierarchy tree (paper Fig. 1, left):"]
+    def walk(grid, depth):
+        lines.append(
+            "  " * depth
+            + f"level {grid.level}: start={grid.start_index.tolist()} "
+            f"dims={grid.dims.tolist()} dx=1/{round(1 / grid.dx)}"
+        )
+        for child in grid.children:
+            walk(child, depth + 1)
+    walk(h.root, 0)
+    return "\n".join(lines)
+
+
+def composite_resolution_map(h):
+    """Per-point finest level over a slice (the 'composite solution')."""
+    n = 32
+    pts = (np.arange(n) + 0.5) / n
+    level_map = np.zeros((n, n), dtype=int)
+    for i, x in enumerate(pts):
+        for j, y in enumerate(pts):
+            g = h.finest_grid_at([x, y, 0.55])
+            level_map[i, j] = g.level
+    return level_map
+
+
+def test_fig1_samr_example(benchmark):
+    h = benchmark.pedantic(build_fig1_hierarchy, rounds=1, iterations=1)
+
+    print("\n" + print_tree(h))
+    assert h.n_grids == 4
+    assert h.max_level == 2
+    assert h.validate_nesting()
+
+    # mesh spacing halves per level (refinement factor 2)
+    dxs = [h.root.dx] + [g.dx for g in h.level_grids(1)] + [g.dx for g in h.level_grids(2)]
+    assert dxs[1] == dxs[0] / 2 and dxs[-1] == dxs[0] / 4
+
+    level_map = composite_resolution_map(h)
+    print("\ncomposite resolution map (finest level per point, z=0.55 slice):")
+    for row in level_map[::2]:
+        print("".join(str(v) for v in row[::2]))
+    # all three resolutions present in the composite
+    assert set(np.unique(level_map)) == {0, 1, 2}
+
+    # resolution (SDR) at level l is n * r^l, paper Sec. 3.1
+    assert h.spatial_dynamic_range() == 8 * 2**2
+    print(f"\nSDR = n * r^l = {h.spatial_dynamic_range():.0f} "
+          f"(paper: resolution at level l is n r^l)")

@@ -1,0 +1,70 @@
+"""The physics that makes primordial star formation possible.
+
+Walks through the paper's Sec. 2 argument quantitatively:
+
+1. the primordial cooling curve — without H2 there is *no* cooling below
+   ~1e4 K; with a trace of H2 there is;
+2. the Rees-Ostriker criterion — the paper's halo can only collapse once
+   H2 brings t_cool below t_ff;
+3. the top-hat model — when a 3-sigma peak of the paper's mass collapses
+   and what virial temperature it reaches (below the atomic threshold,
+   hence the H2 story);
+4. the Press-Schechter abundance of such haloes.
+
+Run:  python examples/cooling_and_collapse_physics.py
+"""
+
+import numpy as np
+
+from repro import constants as const
+from repro.chemistry import SPECIES, primordial_initial_fractions
+from repro.chemistry.equilibrium import cooling_curve
+from repro.chemistry.species import SPECIES_NAMES
+from repro.chemistry.thermal import cooling_vs_freefall
+from repro.cosmology import PowerSpectrum, STANDARD_CDM
+from repro.cosmology.mass_function import PressSchechter
+from repro.cosmology.tophat import peak_collapse_redshift, virial_temperature
+
+
+def main():
+    print("=== 1. the primordial cooling curve ===")
+    print(f"{'T [K]':>9} {'Lambda/n^2 (no H2)':>20} {'with f_H2 = 1e-3':>18}")
+    for t in (300, 1000, 3000, 8000, 15000, 30000, 1e5, 1e6):
+        lam0 = cooling_curve(np.array([float(t)]), n_h=100.0)[0]
+        lam1 = cooling_curve(np.array([float(t)]), n_h=100.0, f_h2=1e-3)[0]
+        print(f"{t:9.0f} {lam0:20.3e} {lam1:18.3e}")
+    print("-> below ~1e4 K atomic cooling vanishes; H2 opens the channel.\n")
+
+    print("=== 2. the Rees-Ostriker criterion (t_cool / t_ff) ===")
+    rho = 100 * const.HYDROGEN_MASS / const.HYDROGEN_MASS_FRACTION
+    for f_h2 in (1e-9, 1e-5, 1e-4, 1e-3):
+        fr = primordial_initial_fractions(x_e=1e-4, f_h2=f_h2)
+        n = {s: np.atleast_1d(fr[s] * rho / (SPECIES[s].mass_amu * const.HYDROGEN_MASS))
+             for s in SPECIES_NAMES}
+        ratio = cooling_vs_freefall(n, np.atleast_1d(1000.0), rho, 20.0).item()
+        verdict = "collapses" if ratio < 1 else "pressure-supported"
+        print(f"  f_H2 = {f_h2:7.1e}:  t_cool/t_ff = {ratio:10.2f}  ({verdict})")
+    print()
+
+    print("=== 3. top-hat timing of the paper's halo ===")
+    power = PowerSpectrum(STANDARD_CDM)
+    sigma = power.sigma_mass(5.4e5, z=100.0)
+    z_c = peak_collapse_redshift(sigma=sigma, nu=3.0, z_of_sigma=100.0)
+    t_vir = virial_temperature(5.4e5, max(z_c, 0.0))
+    print(f"  sigma(5.4e5 Msun, z=100) = {sigma:.3f}")
+    print(f"  3-sigma peak collapses at z ~ {z_c:.1f} "
+          f"(paper's halo: z ~ 19-20)")
+    print(f"  virial temperature       ~ {t_vir:.0f} K "
+          f"(below the ~8000 K atomic-cooling threshold -> H2 required)\n")
+
+    print("=== 4. Press-Schechter abundance ===")
+    ps = PressSchechter(power)
+    for z in (30, 20, 15):
+        frac = ps.collapsed_fraction(5e5, z)
+        print(f"  z = {z:4.1f}: collapsed mass fraction above 5e5 Msun = {frac:.2e}")
+    print("\n-> rare at z=30, common by z=15: the first stars form in the")
+    print("   earliest of these haloes — the object the paper simulates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e .` on environments without wheel."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro — reproduction of Bryan, Abel & Norman (SC2001):
+"Achieving Extreme Resolution in Numerical Cosmology Using Adaptive Mesh
+Refinement: Resolving Primordial Star Formation".
+
+An Enzo-style structured-AMR cosmological hydrodynamics code in
+Python/NumPy: PPM + ZEUS gas solvers, FFT/multigrid self-gravity,
+adaptive particle-mesh dark matter, a 12-species primordial chemistry
+network with radiative cooling, extended-precision (double-double)
+positions and times, and a simulated distributed-memory layer implementing
+the paper's parallelisation strategies.
+
+Quick start::
+
+    from repro import Simulation, SimulationConfig
+    sim = Simulation(SimulationConfig(n_root=16, self_gravity=True,
+                                      refine_overdensity=4.0))
+    ...
+
+or, for the paper's own problem::
+
+    from repro.problems import PrimordialCollapse
+    run = PrimordialCollapse(n_root=8, max_level=3)
+    run.initial_rebuild()
+    run.run_to_redshift(20.0)
+"""
+
+from repro.simulation import Simulation, SimulationConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["Simulation", "SimulationConfig", "__version__"]

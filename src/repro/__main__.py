@@ -1,0 +1,127 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+info        — package/subsystem summary
+sod         — run the Sod shock tube and print the L1 error
+pancake     — run the Zel'dovich pancake validation
+collapse    — run a short primordial-collapse demo
+inspect F   — summarise a checkpoint file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info(args) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — Enzo-style cosmological AMR")
+    print("reproduction of Bryan, Abel & Norman (SC2001)")
+    subsystems = [
+        ("repro.amr", "structured AMR hierarchy, EvolveLevel W-cycle"),
+        ("repro.hydro", "PPM + ZEUS solvers, HLLC/two-shock/exact Riemann"),
+        ("repro.gravity", "FFT + multigrid Poisson"),
+        ("repro.nbody", "adaptive particle-mesh dark matter"),
+        ("repro.chemistry", "12-species primordial network + cooling"),
+        ("repro.cosmology", "Friedmann, P(k), Zel'dovich ICs, top-hat"),
+        ("repro.precision", "double-double extended precision"),
+        ("repro.parallel", "simulated cluster: sterile objects, pipelining"),
+        ("repro.analysis", "profiles, zooms, halos, Jacques"),
+        ("repro.perf", "timers, hierarchy stats, op counting"),
+        ("repro.io", "checkpoint/restart"),
+    ]
+    for mod, desc in subsystems:
+        print(f"  {mod:<18s} {desc}")
+    return 0
+
+
+def cmd_sod(args) -> int:
+    from repro.problems import SodShockTube
+
+    sod = SodShockTube(n=args.n)
+    sod.run(0.2)
+    err = sod.l1_error()
+    print(f"Sod tube, n={args.n}: L1(density) = {err:.4f} in {sod.steps} steps")
+    return 0 if err < 0.05 else 1
+
+
+def cmd_pancake(args) -> int:
+    import numpy as np
+
+    from repro.problems import ZeldovichPancake
+
+    zp = ZeldovichPancake(n=args.n)
+    out = zp.run(z_end=args.z_end)
+    err = np.abs(out["density"] - out["density_exact"]) / out["density_exact"]
+    print(f"Zel'dovich pancake to z={args.z_end}: "
+          f"max density error = {err.max():.4f}")
+    return 0 if err.max() < 0.1 else 1
+
+
+def cmd_collapse(args) -> int:
+    from repro.problems import PrimordialCollapse
+
+    run = PrimordialCollapse(
+        n_root=args.n, max_level=args.levels, amplitude_boost=4.0,
+        mass_refine_factor=8.0,
+        with_chemistry=not args.no_chemistry,
+    )
+    run.initial_rebuild()
+    out = run.run_to_redshift(args.z_end, max_root_steps=args.max_steps)
+    print(f"z = {out['redshift']:.1f}  peak n = {out['peak_n_cgs']:.3e} cm^-3  "
+          f"levels = {out['max_level']}  grids = {out['n_grids']}  "
+          f"SDR = {out['sdr']:.0f}")
+    if args.checkpoint:
+        from repro.io import save_hierarchy
+
+        save_hierarchy(run.hierarchy, args.checkpoint)
+        print(f"checkpoint written: {args.checkpoint}")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from repro.io import checkpoint_info
+
+    info = checkpoint_info(args.file)
+    for key, val in info.items():
+        print(f"{key:<16s} {val}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package summary").set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("sod", help="Sod shock-tube validation")
+    p.add_argument("-n", type=int, default=128)
+    p.set_defaults(fn=cmd_sod)
+
+    p = sub.add_parser("pancake", help="Zel'dovich pancake validation")
+    p.add_argument("-n", type=int, default=16)
+    p.add_argument("--z-end", type=float, default=15.0)
+    p.set_defaults(fn=cmd_pancake)
+
+    p = sub.add_parser("collapse", help="primordial-collapse demo")
+    p.add_argument("-n", type=int, default=8)
+    p.add_argument("--levels", type=int, default=2)
+    p.add_argument("--z-end", type=float, default=80.0)
+    p.add_argument("--max-steps", type=int, default=100)
+    p.add_argument("--no-chemistry", action="store_true")
+    p.add_argument("--checkpoint", default=None)
+    p.set_defaults(fn=cmd_collapse)
+
+    p = sub.add_parser("inspect", help="summarise a checkpoint")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_inspect)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""SetBoundaryValues: ghost-zone filling across the hierarchy.
+
+Paper Sec. 3.2.1 — the two-step procedure:
+
+1. "All boundary values are first interpolated from the grid's parent" —
+   conservative linear in space, linear in time between the parent's old
+   and new states (the W-cycle ordering guarantees both exist).
+2. "Grids which border other grids on the same level (i.e. siblings) use
+   the solution from the sibling grid" — direct copy, overriding the
+   parent interpolation wherever finer-resolution data exists.
+
+The root grid uses the problem's predefined boundary (periodic here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amr.interpolation import is_positive_field, prolong_region, time_interpolate
+from repro.hydro.state import fill_ghosts_periodic
+
+
+def _boundary_field_names(grid):
+    names = [k for k, _ in grid.fields.array_items()]
+    return names
+
+
+def _time_fraction(child, parent) -> float:
+    denom = float(parent.time - parent.old_time)
+    if denom <= 0.0 or parent.old_fields is None:
+        return 1.0
+    return float(child.time - parent.old_time) / denom
+
+
+def interpolate_from_parent(child, parent, include_phi: bool = True) -> None:
+    """Fill the child's ghost zones (and, on first fill, its whole array)
+    by conservative interpolation from the parent, time-centred."""
+    r = child.refine_factor
+    ng = child.nghost
+    frac = _time_fraction(child, parent)
+
+    # fine-index extent of the child array including ghosts (global indices)
+    lo_f = child.start_index - ng
+    hi_f = child.end_index + ng
+    # parent block with a 1-cell rim for slopes
+    lo_p = np.floor_divide(lo_f, r) - 1
+    hi_p = -(-hi_f // r) + 1
+    ng_p = parent.nghost
+    p_sl = tuple(
+        slice(int(lo_p[d] - parent.start_index[d] + ng_p),
+              int(hi_p[d] - parent.start_index[d] + ng_p))
+        for d in range(3)
+    )
+    for d in range(3):
+        if p_sl[d].start < 0 or p_sl[d].stop > parent.shape_with_ghosts[d]:
+            raise ValueError(
+                f"child ghost region leaves parent array: {child} in {parent}"
+            )
+    fine_offset = lo_f - lo_p * r
+    fine_shape = child.shape_with_ghosts
+
+    interior = child.interior
+    for name in _boundary_field_names(child):
+        new_c = parent.fields[name][p_sl]
+        if parent.old_fields is not None and frac < 1.0:
+            coarse = time_interpolate(parent.old_fields[name][p_sl], new_c, frac)
+        else:
+            coarse = new_c
+        fine = prolong_region(coarse, r, fine_shape, fine_offset,
+                              positive=is_positive_field(name))
+        saved = child.fields[name][interior].copy()
+        child.fields[name][...] = fine
+        child.fields[name][interior] = saved
+
+    if include_phi and child.phi is not None and parent.phi is not None:
+        coarse = parent.phi[p_sl]
+        fine = prolong_region(coarse, r, fine_shape, fine_offset)
+        saved = child.phi[interior].copy()
+        child.phi[...] = fine
+        child.phi[interior] = saved
+
+
+def copy_from_siblings(grid, siblings, include_phi: bool = True) -> None:
+    """Overwrite ghost cells with sibling interior data where they overlap."""
+    ng = grid.nghost
+    my_lo = grid.start_index - ng
+    for other in siblings:
+        ov = grid.ghost_overlap_with(other)
+        if ov is None:
+            continue
+        lo, hi = ov
+        my_sl = tuple(
+            slice(int(lo[d] - my_lo[d]), int(hi[d] - my_lo[d])) for d in range(3)
+        )
+        o_sl = tuple(
+            slice(int(lo[d] - other.start_index[d] + ng),
+                  int(hi[d] - other.start_index[d] + ng))
+            for d in range(3)
+        )
+        for name in _boundary_field_names(grid):
+            grid.fields[name][my_sl] = other.fields[name][o_sl]
+        if include_phi and grid.phi is not None and other.phi is not None:
+            grid.phi[my_sl] = other.phi[o_sl]
+
+
+def set_boundary_values(hierarchy, level: int, include_phi: bool = True) -> None:
+    """The paper's SetBoundaryValues(all grids) for one level."""
+    grids = hierarchy.level_grids(level)
+    if level == 0:
+        for g in grids:
+            fill_ghosts_periodic(g.fields, g.nghost)
+            if include_phi and g.phi is not None:
+                _wrap_phi(g)
+        return
+    for g in grids:
+        interpolate_from_parent(g, g.parent, include_phi)
+    for g in grids:
+        copy_from_siblings(g, hierarchy.siblings(g), include_phi)
+
+
+def _wrap_phi(grid) -> None:
+    ng = grid.nghost
+    arr = grid.phi
+    for axis in range(3):
+        n = arr.shape[axis]
+        idx = [slice(None)] * 3
+        src = [slice(None)] * 3
+        idx[axis] = slice(0, ng)
+        src[axis] = slice(n - 2 * ng, n - ng)
+        arr[tuple(idx)] = arr[tuple(src)]
+        idx[axis] = slice(n - ng, n)
+        src[axis] = slice(ng, 2 * ng)
+        arr[tuple(idx)] = arr[tuple(src)]

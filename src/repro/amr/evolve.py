@@ -1,0 +1,330 @@
+"""The recursive EvolveLevel control algorithm (paper Sec. 3.2).
+
+Direct transcription of the paper's pseudo-code::
+
+    EvolveLevel(level, ParentTime):
+        SetBoundaryValues(all grids)
+        while (Time < ParentTime):
+            dt = ComputeTimeStep(all grids)
+            SolveHydroEquations(all grids, dt)
+            Time += dt
+            SetBoundaryValues(all grids)
+            EvolveLevel(level+1, Time)
+            FluxCorrection
+            Projection
+            RebuildHierarchy(level+1)
+
+plus the physics the paper couples on every level: the Poisson solve
+(before the hydro step, so gas and particles feel the same potential),
+dark-matter particle kicks/drifts for the particles this level owns (the
+finest level containing them), and the sub-cycled chemistry/cooling update.
+Per-grid times are extended-precision (Sec. 3.5: absolute time is one of
+the quantities that genuinely needs 128-bit once dt/t ~ 1e-12).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.amr.boundary import set_boundary_values
+from repro.amr.flux_correction import accumulate_boundary_fluxes, correct_level
+from repro.amr.projection import project_level
+from repro.amr.rebuild import rebuild_hierarchy
+from repro.hydro.timestep import accel_timestep, expansion_timestep, hydro_timestep, particle_timestep
+from repro.nbody.cic import cic_deposit
+from repro.precision.doubledouble import DoubleDouble
+
+
+class StaticClock:
+    """Non-cosmological runs: a = 1, adot = 0 forever."""
+
+    def a_of(self, time_code) -> float:
+        return 1.0
+
+    def adot_of(self, time_code) -> float:
+        return 0.0
+
+
+class CosmologyClock:
+    """Maps extended-precision code time to (a, da/dt_code).
+
+    Code t=0 corresponds to the initial redshift of the unit system.
+    """
+
+    def __init__(self, friedmann, units):
+        self.friedmann = friedmann
+        self.units = units
+        self.t0_cgs = float(friedmann.time_of_a(units.a_initial))
+
+    def _t_cgs(self, time_code) -> float:
+        return self.t0_cgs + float(time_code) * self.units.time_unit
+
+    def a_of(self, time_code) -> float:
+        return float(self.friedmann.a_of_time(self._t_cgs(time_code)))
+
+    def adot_of(self, time_code) -> float:
+        a = self.a_of(time_code)
+        return float(self.friedmann.adot(a)) * self.units.time_unit
+
+    def redshift_of(self, time_code) -> float:
+        return 1.0 / self.a_of(time_code) - 1.0
+
+
+class EvolveLevel:
+    """Callable transcription of the pseudo-code (see HierarchyEvolver)."""
+
+    def __init__(self, evolver: "HierarchyEvolver"):
+        self.evolver = evolver
+
+    def __call__(self, level: int, parent_time) -> None:
+        self.evolver.evolve_level(level, parent_time)
+
+
+class HierarchyEvolver:
+    """Binds the hierarchy to its physics modules and runs the W-cycle.
+
+    Parameters
+    ----------
+    hierarchy: Hierarchy
+    solver:
+        A PPMSolver / ZeusSolver (anything with .step(fields, dx, dt, ...)).
+    gravity:
+        Optional :class:`repro.amr.gravity.HierarchyGravity`.
+    chemistry:
+        Optional :class:`repro.chemistry.ChemistryNetwork` (requires units).
+    criteria:
+        Optional :class:`repro.amr.refinement.RefinementCriteria`;
+        None freezes the current grid structure.
+    clock:
+        StaticClock (default) or CosmologyClock.
+    units:
+        CodeUnits; required when chemistry is active.
+    stats:
+        Optional recorder; any of the methods ``record_step(hierarchy,
+        level, dt, time)`` / ``record_rebuild(hierarchy, level)`` it defines
+        are invoked.
+    timers:
+        Optional :class:`repro.perf.timers.ComponentTimers`.
+    """
+
+    def __init__(self, hierarchy, solver, gravity=None, chemistry=None,
+                 criteria=None, clock=None, units=None, cfl: float = 0.4,
+                 max_level: int | None = None, rebuild_every: int = 1,
+                 stats=None, timers=None, jeans_floor_cells: float = 0.0):
+        self.hierarchy = hierarchy
+        self.solver = solver
+        self.gravity = gravity
+        self.chemistry = chemistry
+        self.criteria = criteria
+        self.clock = clock or StaticClock()
+        self.units = units
+        self.cfl = cfl
+        self.max_level = max_level
+        self.rebuild_every = max(int(rebuild_every), 1)
+        self.stats = stats
+        self.timers = timers
+        #: if > 0: pressure-support floor so the local Jeans length never
+        #: falls below this many cell widths on the *finest allowed* level —
+        #: the standard remedy (Machacek et al. 2001 lineage) for artificial
+        #: fragmentation once the depth cap stops the paper's "refine
+        #: forever" strategy.
+        self.jeans_floor_cells = float(jeans_floor_cells)
+        self.step_counter = defaultdict(int)
+
+    # ------------------------------------------------------------------ time
+    def compute_timestep(self, level: int, a: float, adot: float) -> float:
+        """min over the level's grids of every constraint (paper Sec. 3.1)."""
+        h = self.hierarchy
+        dts = [expansion_timestep(a, adot)]
+        for g in h.level_grids(level):
+            # scan the full array (ghosts included): ghost-band cells are
+            # advanced transversally by the sweeps, so their signal speeds
+            # bind the CFL too
+            dts.append(hydro_timestep(g.fields, g.dx, a, self.cfl))
+        if len(h.particles) and level == 0:
+            dts.append(particle_timestep(h.particles.velocities,
+                                         h.root.dx, a, self.cfl))
+        dt = float(min(dts))
+        if np.isnan(dt):
+            raise FloatingPointError(
+                f"NaN timestep on level {level}: the solution has gone bad"
+            )
+        if not np.isfinite(dt):
+            dt = 1.0
+        return dt
+
+    # -------------------------------------------------------------- evolve
+    def advance_to(self, stop_time: float) -> None:
+        """Top-level driver: evolve the whole hierarchy to stop_time."""
+        self.evolve_level(0, DoubleDouble(stop_time))
+
+    def evolve_level(self, level: int, parent_time) -> None:
+        h = self.hierarchy
+        grids = h.level_grids(level)
+        if not grids:
+            return
+        self._timed("boundary", set_boundary_values, h, level)
+
+        while bool(grids[0].time < parent_time):
+            grids = h.level_grids(level)
+            if not grids:
+                return
+            time_now = grids[0].time
+            a = self.clock.a_of(time_now)
+            adot = self.clock.adot_of(time_now)
+            dt = self.compute_timestep(level, a, adot)
+
+            # gravity first: gas and particles feel the same potential, and
+            # the acceleration constrains the timestep (free-fall through a
+            # cell must be resolved)
+            accel = {}
+            if self.gravity is not None:
+                self._timed("gravity", self.gravity.solve_level, h, level, a)
+                for g in grids:
+                    acc = self.gravity.acceleration(g, a)
+                    accel[g.grid_id] = acc
+                    dt = min(
+                        dt,
+                        accel_timestep(acc[(slice(None),) + g.interior], g.dx, a),
+                    )
+
+            remaining = float(parent_time - time_now)
+            dt = min(dt, remaining)
+            dt = max(dt, remaining * 1e-12)
+            a_mid = self.clock.a_of(float(time_now) + 0.5 * dt)
+            adot_mid = self.clock.adot_of(float(time_now) + 0.5 * dt)
+
+            permute = self.step_counter[level] % 3
+            for g in grids:
+                g.save_old_state()
+                fluxes = self._timed(
+                    "hydro", self.solver.step, g.fields, g.dx, dt,
+                    a_mid, adot_mid, accel.get(g.grid_id), permute,
+                )
+                g.last_fluxes = fluxes
+                if level > 0:
+                    accumulate_boundary_fluxes(g, fluxes)
+                g.time = DoubleDouble(g.time + dt)
+
+            self._timed("nbody", self._advance_particles, level, dt, a_mid,
+                        adot_mid, accel)
+
+            if self.chemistry is not None and self.units is not None:
+                for g in grids:
+                    self._timed("chemistry", self.chemistry.advance_fields,
+                                g.fields, dt, self.units, a_mid)
+
+            if (
+                self.jeans_floor_cells > 0.0
+                and self.gravity is not None
+                and self.max_level is not None
+                and level >= self.max_level
+            ):
+                for g in grids:
+                    self._apply_jeans_floor(g, a_mid)
+
+            self._timed("boundary", set_boundary_values, h, level)
+            self.evolve_level(level + 1, grids[0].time)
+            self._timed("flux_correction", correct_level, h, level + 1)
+            self._timed("projection", project_level, h, level + 1)
+
+            self.step_counter[level] += 1
+            if (
+                self.criteria is not None
+                and (self.max_level is None or level + 1 <= self.max_level)
+                and self.step_counter[level] % self.rebuild_every == 0
+            ):
+                self._timed("rebuild", lambda: rebuild_hierarchy(
+                    h, level + 1, self.criteria, self._dm_density,
+                    max_level=self.max_level))
+                if self.stats is not None and hasattr(self.stats, "record_rebuild"):
+                    self.stats.record_rebuild(h, level + 1)
+            if self.stats is not None and hasattr(self.stats, "record_step"):
+                self.stats.record_step(h, level, dt, float(grids[0].time))
+
+    # ------------------------------------------------------------- particles
+    def _advance_particles(self, level: int, dt: float, a: float, adot: float,
+                           accel: dict) -> None:
+        h = self.hierarchy
+        parts = h.particles
+        if len(parts) == 0 or self.gravity is None:
+            return
+        owner = h.finest_level_of_particles()
+        mask = owner == level
+        if not mask.any():
+            return
+        idx = np.nonzero(mask)[0]
+        for g in h.level_grids(level):
+            in_g = parts.in_region(g.left_edge, g.right_edge)
+            sel = np.nonzero(in_g & mask)[0]
+            if len(sel) == 0:
+                continue
+            acc_field = accel.get(g.grid_id)
+            if acc_field is None:
+                continue
+            pa = self.gravity.particle_accelerations(
+                g, acc_field, parts.positions.hi[sel], parts.positions.lo[sel]
+            )
+            drag = np.exp(-(adot / a) * 0.5 * dt) if adot else 1.0
+            v = parts.velocities[sel]
+            v = v * drag + pa * 0.5 * dt
+            # drift
+            dx = v * (dt / a)
+            pos = parts.positions[sel]
+            pos.translate_inplace(dx)
+            pos = pos.wrap_periodic(0.0, 1.0)
+            parts.positions[sel] = pos
+            # second half kick (same potential)
+            pa2 = self.gravity.particle_accelerations(
+                g, acc_field, parts.positions.hi[sel], parts.positions.lo[sel]
+            )
+            v = v * drag + pa2 * 0.5 * dt
+            parts.velocities[sel] = v
+
+    def _apply_jeans_floor(self, grid, a: float) -> None:
+        """Pressure support so L_J >= jeans_floor_cells * dx at the cap.
+
+        In code units (comoving density rho, proper specific energy e):
+        e >= N^2 dx^2 G rho / (pi a gamma (gamma-1)).
+        """
+        from repro import constants as const
+
+        n = self.jeans_floor_cells
+        gamma = getattr(self.solver, "gamma", const.GAMMA)
+        g_code = self.gravity.g_code
+        rho = grid.fields["density"]
+        e_floor = (
+            n * n * grid.dx**2 * g_code * rho
+            / (np.pi * a * gamma * (gamma - 1.0))
+        )
+        below = grid.fields["internal"] < e_floor
+        if below.any():
+            grid.fields["internal"] = np.maximum(grid.fields["internal"], e_floor)
+            from repro.hydro.state import total_energy
+
+            grid.fields["energy"] = total_energy(grid.fields)
+
+    def _dm_density(self, grid) -> np.ndarray | None:
+        parts = self.hierarchy.particles
+        if len(parts) == 0:
+            return None
+        shape = tuple(int(d) for d in grid.dims)
+        periodic = grid.level == 0 and np.all(grid.dims == self.hierarchy.n_root)
+        if periodic:
+            offsets = parts.positions.hi + parts.positions.lo
+            return cic_deposit(offsets, parts.masses, shape, grid.dx, periodic=True)
+        mask = parts.in_region(grid.left_edge - grid.dx, grid.right_edge + grid.dx)
+        if not mask.any():
+            return None
+        sel = parts.select(mask)
+        offsets = (sel.positions.hi + sel.positions.lo) - grid.left_edge
+        return cic_deposit(offsets, sel.masses, shape, grid.dx, periodic=False)
+
+    # ---------------------------------------------------------------- timers
+    def _timed(self, section: str, fn, *args):
+        if self.timers is None:
+            return fn(*args)
+        with self.timers.section(section):
+            return fn(*args)

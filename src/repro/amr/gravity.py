@@ -1,0 +1,203 @@
+"""Self-gravity on the hierarchy (paper Sec. 3.3).
+
+"On the root grid, this is done with an FFT ... On subgrids, we interpolate
+the gravitational potential field and then solve the Poisson equation using
+a traditional multi-grid relaxation technique.  In order to produce a
+solution that is consistent across the boundaries of sibling grids, we use
+an iterative method: first solving each grid separately, exchanging
+boundary conditions, and then solving again."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amr.interpolation import prolong_region
+from repro.gravity.fft_poisson import solve_periodic
+from repro.gravity.multigrid import MultigridSolver
+from repro.nbody.cic import cic_deposit, cic_gather
+
+
+class HierarchyGravity:
+    """Level-by-level Poisson solves with sibling iteration.
+
+    Parameters
+    ----------
+    g_code:
+        Newton's constant in code units.
+    mean_density:
+        The comoving mean *total* density in code units (1.0 for the
+        cosmological unit system; only fluctuations source peculiar gravity).
+    sibling_iterations:
+        Solve / exchange / re-solve passes on refined levels.
+    """
+
+    def __init__(self, g_code: float, mean_density: float = 1.0,
+                 sibling_iterations: int = 2, mg_tol: float = 1e-6):
+        self.g_code = g_code
+        self.mean_density = mean_density
+        self.sibling_iterations = int(sibling_iterations)
+        self.mg = MultigridSolver(tol=mg_tol)
+
+    # ------------------------------------------------------------ densities
+    def total_density(self, hierarchy, grid) -> np.ndarray:
+        """Gas + deposited dark-matter comoving density on the interior."""
+        rho = grid.field_view("density").copy()
+        parts = hierarchy.particles
+        if len(parts) == 0:
+            return rho
+        periodic = grid.level == 0 and np.all(grid.dims == hierarchy.n_root)
+        if periodic:
+            offsets = parts.positions.hi + parts.positions.lo
+            rho += cic_deposit(offsets, parts.masses, rho.shape, grid.dx, periodic=True)
+        else:
+            # take particles within one cell of the grid so boundary cells
+            # receive their share of straddling clouds
+            pad = grid.dx
+            mask = parts.in_region(grid.left_edge - pad, grid.right_edge + pad)
+            if mask.any():
+                sel = parts.select(mask)
+                offsets = (
+                    sel.positions.hi + sel.positions.lo
+                ) - grid.left_edge
+                rho += cic_deposit(
+                    offsets, sel.masses, rho.shape, grid.dx, periodic=False
+                )
+        return rho
+
+    def source(self, hierarchy, grid, a: float) -> np.ndarray:
+        """RHS of the comoving Poisson equation on the grid interior."""
+        rho = self.total_density(hierarchy, grid)
+        return 4.0 * np.pi * self.g_code / a * (rho - self.mean_density)
+
+    # --------------------------------------------------------------- solves
+    def solve_level(self, hierarchy, level: int, a: float = 1.0) -> None:
+        """Fill ``grid.phi`` for every grid on a level."""
+        grids = hierarchy.level_grids(level)
+        if not grids:
+            return
+        if level == 0:
+            g = grids[0]
+            src = self.source(hierarchy, g, a)
+            phi = solve_periodic(src, g.dx)
+            g.phi[g.interior] = phi
+            _wrap_phi_ghosts(g)
+            return
+
+        sources = {g.grid_id: self.source(hierarchy, g, a) for g in grids}
+        boundaries = {g.grid_id: self._parent_boundary(g) for g in grids}
+        for iteration in range(self.sibling_iterations):
+            for g in grids:
+                rim = boundaries[g.grid_id]
+                sol = self.mg.solve(sources[g.grid_id], g.dx, rim)
+                self._store_phi(g, sol)
+            # exchange: overwrite rim values with sibling solutions
+            improved = False
+            for g in grids:
+                for other in hierarchy.siblings(g):
+                    if _exchange_rim(g, other, boundaries[g.grid_id]):
+                        improved = True
+            if not improved:
+                break
+
+    def _parent_boundary(self, grid) -> np.ndarray:
+        """Dirichlet rim (dims+2) interpolated from the parent's potential."""
+        parent = grid.parent
+        r = grid.refine_factor
+        lo_f = grid.start_index - 1
+        hi_f = grid.end_index + 1
+        lo_p = np.floor_divide(lo_f, r) - 1
+        hi_p = -(-hi_f // r) + 1
+        ng_p = parent.nghost
+        p_sl = tuple(
+            slice(int(lo_p[d] - parent.start_index[d] + ng_p),
+                  int(hi_p[d] - parent.start_index[d] + ng_p))
+            for d in range(3)
+        )
+        coarse = parent.phi[p_sl]
+        fine = prolong_region(
+            coarse, r, tuple(int(d) + 2 for d in grid.dims), lo_f - lo_p * r
+        )
+        return fine
+
+    def _store_phi(self, grid, rim_solution: np.ndarray) -> None:
+        """Write the rim-padded MG solution into grid.phi (ghost layout).
+
+        The ghost layers beyond the 1-cell rim are edge-replicated so the
+        acceleration gradient stays bounded everywhere — stale values there
+        would create huge spurious ghost-band accelerations that destabilise
+        the next hydro step before the ghosts are refreshed.
+        """
+        ng = grid.nghost
+        sl = tuple(slice(ng - 1, ng + int(d) + 1) for d in grid.dims)
+        grid.phi[sl] = rim_solution
+        for axis in range(3):
+            n = grid.phi.shape[axis]
+            lo_edge = [slice(None)] * 3
+            lo_edge[axis] = slice(ng - 1, ng)
+            hi_edge = [slice(None)] * 3
+            hi_edge[axis] = slice(n - ng, n - ng + 1)
+            lo_dst = [slice(None)] * 3
+            lo_dst[axis] = slice(0, ng - 1)
+            hi_dst = [slice(None)] * 3
+            hi_dst[axis] = slice(n - ng + 1, n)
+            grid.phi[tuple(lo_dst)] = grid.phi[tuple(lo_edge)]
+            grid.phi[tuple(hi_dst)] = grid.phi[tuple(hi_edge)]
+
+    # --------------------------------------------------------- acceleration
+    def acceleration(self, grid, a: float = 1.0) -> np.ndarray:
+        """g = -grad(phi)/a on the full (ghost-padded) array.
+
+        Central differences; the outermost ghost layer is one-sided.  Only
+        interior values feed the dynamics (ghosts are refreshed each step).
+        """
+        g = np.empty((3,) + grid.phi.shape)
+        for axis in range(3):
+            g[axis] = -np.gradient(grid.phi, grid.dx, axis=axis) / a
+        return g
+
+    def particle_accelerations(self, grid, accel_full: np.ndarray,
+                               positions_hi, positions_lo) -> np.ndarray:
+        """CIC-gather the grid's acceleration at particle positions."""
+        ng = grid.nghost
+        offsets = (positions_hi + positions_lo) - grid.left_edge + ng * grid.dx
+        return cic_gather(accel_full, offsets, grid.dx, periodic=False)
+
+
+def _wrap_phi_ghosts(grid) -> None:
+    ng = grid.nghost
+    arr = grid.phi
+    for axis in range(3):
+        n = arr.shape[axis]
+        idx = [slice(None)] * 3
+        src = [slice(None)] * 3
+        idx[axis] = slice(0, ng)
+        src[axis] = slice(n - 2 * ng, n - ng)
+        arr[tuple(idx)] = arr[tuple(src)]
+        idx[axis] = slice(n - ng, n)
+        src[axis] = slice(ng, 2 * ng)
+        arr[tuple(idx)] = arr[tuple(src)]
+
+
+def _exchange_rim(grid, other, rim: np.ndarray) -> bool:
+    """Copy sibling interior phi into my Dirichlet rim where they overlap.
+
+    The rim spans level indices [start-1, end+1); only rim cells (not the
+    interior of the padded array) are updated.  Returns True if anything
+    changed.
+    """
+    lo = np.maximum(grid.start_index - 1, other.start_index)
+    hi = np.minimum(grid.end_index + 1, other.end_index)
+    if np.any(lo >= hi):
+        return False
+    ng = other.nghost
+    my_sl = tuple(
+        slice(int(lo[d] - grid.start_index[d] + 1), int(hi[d] - grid.start_index[d] + 1))
+        for d in range(3)
+    )
+    o_sl = tuple(
+        slice(int(lo[d] - other.start_index[d] + ng), int(hi[d] - other.start_index[d] + ng))
+        for d in range(3)
+    )
+    rim[my_sl] = other.phi[o_sl]
+    return True

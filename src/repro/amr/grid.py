@@ -1,0 +1,198 @@
+"""The Grid: SAMR's basic building block.
+
+"An object oriented approach provides a number of benefits.  The first is
+encapsulation: a grid represents the basic building block of AMR."
+(paper Sec. 3.4)
+
+Geometry is stored as integer cell indices at the grid's own level
+resolution (``start_index`` .. ``start_index + dims``), which is exact at
+any depth — one of the two legs of the paper's extended-precision
+discipline (the other, :class:`~repro.precision.position.PositionDD`, covers
+non-dyadic absolute positions: particles and time).  Edges in float64 are
+exact whenever the root dims and refinement factor are powers of two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hydro.state import FieldSet, make_fields
+from repro.precision.doubledouble import DoubleDouble
+from repro.precision.position import PositionDD
+
+
+class Grid:
+    """One rectangular mesh patch in the hierarchy.
+
+    Parameters
+    ----------
+    level:
+        Hierarchy depth (0 = root).
+    start_index:
+        Integer cell coordinates of the grid's lower corner, in units of
+        this level's cell width.
+    dims:
+        Interior cells per dimension.
+    n_root:
+        Root-grid cells per dimension (sets the absolute cell width).
+    refine_factor:
+        The hierarchy's integer refinement factor r.
+    nghost:
+        Ghost-zone width carried by the field arrays.
+    """
+
+    __slots__ = (
+        "level", "start_index", "dims", "n_root", "refine_factor", "nghost",
+        "fields", "phi", "time", "old_fields", "old_time", "parent", "children",
+        "flux_accumulator", "last_fluxes", "proc", "grid_id",
+    )
+
+    _next_id = 0
+
+    def __init__(self, level: int, start_index, dims, n_root: int,
+                 refine_factor: int = 2, nghost: int = 3):
+        self.level = int(level)
+        self.start_index = np.array(start_index, dtype=np.int64)
+        self.dims = np.array(dims, dtype=np.int64)
+        if np.any(self.dims <= 0):
+            raise ValueError("grid dims must be positive")
+        self.n_root = int(n_root)
+        self.refine_factor = int(refine_factor)
+        self.nghost = int(nghost)
+        self.fields: FieldSet | None = None
+        self.phi: np.ndarray | None = None
+        self.time = DoubleDouble(0.0)
+        self.old_fields: FieldSet | None = None
+        self.old_time = DoubleDouble(0.0)
+        self.parent: Grid | None = None
+        self.children: list[Grid] = []
+        self.flux_accumulator: dict | None = None
+        self.last_fluxes = None
+        self.proc = 0  # owning rank in the parallel layer
+        self.grid_id = Grid._next_id
+        Grid._next_id += 1
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def cells_per_dim_at_level(self) -> int:
+        """Total level resolution across the box."""
+        return self.n_root * self.refine_factor**self.level
+
+    @property
+    def dx(self) -> float:
+        """Comoving cell width in box units (exact for power-of-two setups)."""
+        return 1.0 / self.cells_per_dim_at_level
+
+    @property
+    def end_index(self) -> np.ndarray:
+        return self.start_index + self.dims
+
+    @property
+    def left_edge(self) -> np.ndarray:
+        return self.start_index * self.dx
+
+    @property
+    def right_edge(self) -> np.ndarray:
+        return self.end_index * self.dx
+
+    @property
+    def left_edge_dd(self) -> PositionDD:
+        """EPA left edge (needed when dx is not a dyadic rational)."""
+        hi = self.start_index.astype(float) * self.dx
+        # correction term: exact product via splitting start*dx - hi
+        lo = (self.start_index.astype(float) * self.dx - hi)
+        return PositionDD(hi, lo)
+
+    @property
+    def shape_with_ghosts(self) -> tuple:
+        return tuple(int(d) + 2 * self.nghost for d in self.dims)
+
+    @property
+    def interior(self) -> tuple:
+        ng = self.nghost
+        return tuple(slice(ng, ng + int(d)) for d in self.dims)
+
+    @property
+    def n_cells(self) -> int:
+        return int(np.prod(self.dims))
+
+    def cell_centres(self):
+        """1-d arrays of interior cell-centre coordinates per dimension."""
+        return [
+            (self.start_index[d] + np.arange(self.dims[d]) + 0.5) * self.dx
+            for d in range(3)
+        ]
+
+    # --------------------------------------------------------- relationships
+    def overlap_with(self, other: "Grid"):
+        """Integer intersection with a same-level grid, or None.
+
+        Returns ``(lo, hi)`` in this level's index space.
+        """
+        if other.level != self.level:
+            raise ValueError("overlap is defined between same-level grids")
+        lo = np.maximum(self.start_index, other.start_index)
+        hi = np.minimum(self.end_index, other.end_index)
+        if np.any(lo >= hi):
+            return None
+        return lo, hi
+
+    def ghost_overlap_with(self, other: "Grid"):
+        """Intersection of *my ghost-expanded region* with other's interior."""
+        if other.level != self.level:
+            raise ValueError("sibling relations are same-level only")
+        lo = np.maximum(self.start_index - self.nghost, other.start_index)
+        hi = np.minimum(self.end_index + self.nghost, other.end_index)
+        if np.any(lo >= hi):
+            return None
+        return lo, hi
+
+    def contains_index_region(self, lo, hi) -> bool:
+        """Is [lo, hi) (this level's indices) inside my interior?"""
+        return bool(np.all(lo >= self.start_index) and np.all(hi <= self.end_index))
+
+    def parent_index_region(self):
+        """My footprint in parent-level indices (I am always aligned)."""
+        r = self.refine_factor
+        return self.start_index // r, -(-self.end_index // r)
+
+    def is_nested_in(self, parent: "Grid") -> bool:
+        """Full containment within a coarser grid (the paper's requirement)."""
+        if parent.level != self.level - 1:
+            return False
+        lo, hi = self.parent_index_region()
+        return parent.contains_index_region(lo, hi)
+
+    def contains_point(self, xyz) -> np.ndarray:
+        """Vectorised point-in-interior test for float positions (n,3)."""
+        x = np.atleast_2d(np.asarray(xyz, dtype=float))
+        return np.all((x >= self.left_edge) & (x < self.right_edge), axis=1)
+
+    # --------------------------------------------------------------- storage
+    def allocate(self, advected=()) -> None:
+        """Allocate field arrays (uniform trivial state)."""
+        self.fields = make_fields(self.shape_with_ghosts, advected=advected)
+        self.phi = np.zeros(self.shape_with_ghosts)
+
+    def field_view(self, name: str) -> np.ndarray:
+        """Interior view of a field."""
+        return self.fields[name][self.interior]
+
+    def memory_bytes(self) -> int:
+        if self.fields is None:
+            return 0
+        total = sum(arr.nbytes for k, arr in self.fields.array_items())
+        if self.phi is not None:
+            total += self.phi.nbytes
+        return total
+
+    def save_old_state(self) -> None:
+        """Snapshot fields+time for time-interpolated child boundaries."""
+        self.old_fields = self.fields.deep_copy()
+        self.old_time = DoubleDouble(self.time)
+
+    def __repr__(self):
+        return (
+            f"Grid(id={self.grid_id}, level={self.level}, "
+            f"start={self.start_index.tolist()}, dims={self.dims.tolist()})"
+        )

@@ -1,0 +1,159 @@
+"""The grid hierarchy: a tree of Grids plus the global particle store.
+
+"Our parallel implementation places no limit on the depth or complexity of
+the adaptive grid hierarchy." (paper abstract) — the container below is a
+list-of-levels tree with no depth cap; practical depth is set by the
+refinement criteria and the run budget, not the data structure.
+
+Dark-matter particles live in one global :class:`ParticleSet` (the
+functional equivalent of Enzo's per-grid ownership without the migration
+bookkeeping); each level's solvers select the particles in their region on
+demand, and each particle is *advanced* by the finest level containing it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amr.grid import Grid
+from repro.hydro.state import FieldSet
+from repro.nbody.particles import ParticleSet
+from repro.precision.doubledouble import DoubleDouble
+
+
+class Hierarchy:
+    """Container and bookkeeping for the SAMR grid tree."""
+
+    def __init__(self, n_root: int, refine_factor: int = 2, nghost: int = 3,
+                 advected=()):
+        self.n_root = int(n_root)
+        self.refine_factor = int(refine_factor)
+        self.nghost = int(nghost)
+        self.advected = list(advected)
+        root = Grid(0, (0, 0, 0), (n_root,) * 3, n_root, refine_factor, nghost)
+        root.allocate(self.advected)
+        self.levels: list[list[Grid]] = [[root]]
+        self.particles = ParticleSet.empty()
+        # counters the performance layer reads (paper Fig. 5 discussion)
+        self.grids_created = 1
+        self.grids_destroyed = 0
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def root(self) -> Grid:
+        return self.levels[0][0]
+
+    @property
+    def max_level(self) -> int:
+        return len(self.levels) - 1
+
+    def level_grids(self, level: int) -> list[Grid]:
+        if level < 0 or level >= len(self.levels):
+            return []
+        return self.levels[level]
+
+    def all_grids(self):
+        for lvl in self.levels:
+            yield from lvl
+
+    @property
+    def n_grids(self) -> int:
+        return sum(len(l) for l in self.levels)
+
+    def grids_per_level(self) -> list[int]:
+        return [len(l) for l in self.levels]
+
+    # ------------------------------------------------------------- mutation
+    def add_grid(self, grid: Grid, parent: Grid) -> None:
+        """Insert a grid under its parent; allocates storage if needed."""
+        if not grid.is_nested_in(parent):
+            raise ValueError(f"{grid} is not fully nested in {parent}")
+        while len(self.levels) <= grid.level:
+            self.levels.append([])
+        grid.parent = parent
+        parent.children.append(grid)
+        self.levels[grid.level].append(grid)
+        if grid.fields is None:
+            grid.allocate(self.advected)
+        grid.time = DoubleDouble(parent.time)
+        self.grids_created += 1
+
+    def remove_level_grids(self, level: int) -> None:
+        """Delete all grids at `level` and deeper (used by rebuild)."""
+        removed = 0
+        for lvl in range(level, len(self.levels)):
+            removed += len(self.levels[lvl])
+            for g in self.levels[lvl]:
+                if g.parent is not None and g in g.parent.children:
+                    g.parent.children.remove(g)
+            self.levels[lvl] = []
+        while len(self.levels) > 1 and not self.levels[-1]:
+            self.levels.pop()
+        self.grids_destroyed += removed
+
+    # --------------------------------------------------------------- queries
+    def siblings(self, grid: Grid) -> list[Grid]:
+        """Same-level grids whose interiors touch my ghost-expanded region."""
+        out = []
+        for other in self.level_grids(grid.level):
+            if other is grid:
+                continue
+            if grid.ghost_overlap_with(other) is not None:
+                out.append(other)
+        return out
+
+    def finest_grid_at(self, xyz) -> Grid:
+        """Deepest grid whose interior contains the given point."""
+        best = self.root
+        for lvl in range(1, len(self.levels)):
+            hit = None
+            for g in self.levels[lvl]:
+                if g.contains_point(xyz)[0]:
+                    hit = g
+                    break
+            if hit is None:
+                break
+            best = hit
+        return best
+
+    def finest_level_of_particles(self) -> np.ndarray:
+        """Per-particle finest level whose grids contain it (vectorised)."""
+        pos = self.particles.positions.hi + self.particles.positions.lo
+        level_of = np.zeros(len(self.particles), dtype=np.int32)
+        for lvl in range(1, len(self.levels)):
+            covered = np.zeros(len(self.particles), dtype=bool)
+            for g in self.levels[lvl]:
+                covered |= np.all(
+                    (pos >= g.left_edge) & (pos < g.right_edge), axis=1
+                )
+            level_of[covered] = lvl
+        return level_of
+
+    def covering_mask(self, grid: Grid) -> np.ndarray:
+        """Boolean interior-shaped mask of cells covered by children."""
+        mask = np.zeros(tuple(int(d) for d in grid.dims), dtype=bool)
+        r = self.refine_factor
+        for child in grid.children:
+            lo, hi = child.parent_index_region()
+            sl = tuple(
+                slice(int(lo[d] - grid.start_index[d]), int(hi[d] - grid.start_index[d]))
+                for d in range(3)
+            )
+            mask[sl] = True
+        return mask
+
+    # --------------------------------------------------------------- metrics
+    def total_memory_bytes(self) -> int:
+        return sum(g.memory_bytes() for g in self.all_grids())
+
+    def spatial_dynamic_range(self) -> float:
+        """SDR = box length / finest cell width (paper's headline metric)."""
+        return float(self.n_root * self.refine_factor**self.max_level)
+
+    def validate_nesting(self) -> bool:
+        """Every subgrid fully nested in its parent (paper's constraint)."""
+        for lvl in range(1, len(self.levels)):
+            for g in self.levels[lvl]:
+                if g.parent is None or not g.is_nested_in(g.parent):
+                    return False
+        return True

@@ -1,0 +1,102 @@
+"""Parent -> child interpolation (prolongation).
+
+Two uses in the hierarchy (paper Sec. 3.2):
+
+* filling a newborn child grid's interior where no old same-level data
+  exists, and
+* setting child *ghost* boundary values each step, time-interpolated
+  between the parent's old and new states.
+
+The spatial operator is conservative piecewise-linear reconstruction:
+each parent cell gets MC-limited slopes and the children sample the linear
+profile, so the mean of the r^3 children equals the parent value exactly
+(the property the projection step and the conservation tests rely on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _limited_slopes(q: np.ndarray, axis: int) -> np.ndarray:
+    """MC-limited slope per cell along one axis (zero at the array edges)."""
+    dq = np.zeros_like(q)
+    sl_m = [slice(None)] * q.ndim
+    sl_p = [slice(None)] * q.ndim
+    sl_c = [slice(None)] * q.ndim
+    sl_m[axis] = slice(0, -2)
+    sl_c[axis] = slice(1, -1)
+    sl_p[axis] = slice(2, None)
+    dm = q[tuple(sl_c)] - q[tuple(sl_m)]
+    dp = q[tuple(sl_p)] - q[tuple(sl_c)]
+    centred = 0.5 * (dm + dp)
+    lim = np.where(
+        dm * dp > 0.0,
+        np.sign(centred) * np.minimum(np.abs(centred), 2.0 * np.minimum(np.abs(dm), np.abs(dp))),
+        0.0,
+    )
+    dq[tuple(sl_c)] = lim
+    return dq
+
+
+def prolong_linear(coarse: np.ndarray, r: int, positive: bool = False) -> np.ndarray:
+    """Conservative linear prolongation of a 3-d array by factor r.
+
+    Output shape is ``r * coarse.shape``.  Mean over each r^3 block equals
+    the coarse value exactly.  Slopes at the array boundary are zero
+    (callers pass a coarse array padded by one cell when they need
+    full-order boundary behaviour).
+
+    With ``positive=True`` the three axis slopes are jointly rescaled per
+    parent cell so no child value can undershoot zero (each axis limiter is
+    positivity-preserving alone, but the *sum* of three slope terms is not
+    — densities and energies need this, signed fields must not use it).
+    """
+    if r == 1:
+        return coarse.copy()
+    # child-centre offsets within the parent cell, in parent-cell units:
+    # (i + 0.5)/r - 0.5 for i in 0..r-1; they average to zero
+    offsets = (np.arange(r) + 0.5) / r - 0.5
+    max_off = 0.5 * (1.0 - 1.0 / r)
+    slopes = [_limited_slopes(coarse, axis) for axis in range(3)]
+    if positive:
+        reach = max_off * (np.abs(slopes[0]) + np.abs(slopes[1]) + np.abs(slopes[2]))
+        with np.errstate(invalid="ignore", divide="ignore"):
+            scale = np.where(reach > coarse, coarse / np.maximum(reach, 1e-300), 1.0)
+        scale = np.clip(scale, 0.0, 1.0)
+        slopes = [s * scale for s in slopes]
+    out = np.repeat(np.repeat(np.repeat(coarse, r, 0), r, 1), r, 2)
+    for axis in range(3):
+        s_rep = np.repeat(np.repeat(np.repeat(slopes[axis], r, 0), r, 1), r, 2)
+        off_axis = offsets[np.arange(out.shape[axis]) % r]
+        bshape = [1, 1, 1]
+        bshape[axis] = out.shape[axis]
+        out = out + s_rep * off_axis.reshape(bshape)
+    return out
+
+
+def is_positive_field(name: str) -> bool:
+    """Densities, energies and species partial densities are sign-definite;
+    velocity components (and the potential) are not."""
+    return name not in ("vx", "vy", "vz")
+
+
+def prolong_region(coarse_padded: np.ndarray, r: int, fine_shape, fine_offset,
+                   positive: bool = False) -> np.ndarray:
+    """Prolong a padded coarse block and cut out a fine sub-region.
+
+    ``coarse_padded`` includes a 1-cell rim so interior slopes are
+    full-order; ``fine_offset`` is the fine-index offset of the requested
+    region relative to the fine image of the padded block's corner.
+    """
+    fine_full = prolong_linear(coarse_padded, r, positive=positive)
+    sl = tuple(
+        slice(int(o), int(o) + int(s)) for o, s in zip(fine_offset, fine_shape)
+    )
+    return fine_full[sl]
+
+
+def time_interpolate(old: np.ndarray, new: np.ndarray, frac: float) -> np.ndarray:
+    """Linear interpolation in time between two parent states."""
+    frac = float(np.clip(frac, 0.0, 1.0))
+    return old * (1.0 - frac) + new * frac

@@ -1,0 +1,60 @@
+"""Child -> parent projection (restriction).
+
+"The second step, termed projection, updates the solution on the coarse
+mesh points which are covered by finer meshes." (paper Sec. 3.2.1)
+
+Density-like fields restrict by volume average; specific quantities
+(velocities, specific energies) by mass-weighted average, so that the
+coarse conserved totals equal the fine ones exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hydro.state import VELOCITY_FIELDS
+
+
+def block_average(fine: np.ndarray, r: int) -> np.ndarray:
+    s = fine.shape
+    if any(d % r for d in s):
+        raise ValueError("fine region not aligned to the refinement factor")
+    return fine.reshape(s[0] // r, r, s[1] // r, r, s[2] // r, r).mean(axis=(1, 3, 5))
+
+
+def project_child_to_parent(child, parent) -> None:
+    """Overwrite the parent's covered interior cells with child averages."""
+    r = child.refine_factor
+    lo_p, hi_p = child.parent_index_region()
+    # parent-local interior slice of the covered region
+    ng = parent.nghost
+    p_sl = tuple(
+        slice(ng + int(lo_p[d] - parent.start_index[d]),
+              ng + int(hi_p[d] - parent.start_index[d]))
+        for d in range(3)
+    )
+    c_int = child.interior
+
+    rho_f = child.fields["density"][c_int]
+    rho_c = block_average(rho_f, r)
+    parent.fields["density"][p_sl] = rho_c
+
+    mass_weight = rho_f
+    denom = np.maximum(rho_c, 1e-300)
+    for name in (*VELOCITY_FIELDS, "energy", "internal"):
+        q = child.fields[name][c_int]
+        parent.fields[name][p_sl] = block_average(mass_weight * q, r) / denom
+
+    for name in child.fields.advected:
+        parent.fields[name][p_sl] = block_average(child.fields[name][c_int], r)
+
+    if child.phi is not None and parent.phi is not None:
+        parent.phi[p_sl] = block_average(child.phi[c_int], r)
+
+
+def project_level(hierarchy, level: int) -> None:
+    """Project every grid on ``level`` into its parent (finest-first callers
+    guarantee deeper data has already been folded in)."""
+    for child in hierarchy.level_grids(level):
+        if child.parent is not None:
+            project_child_to_parent(child, child.parent)

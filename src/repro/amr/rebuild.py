@@ -1,0 +1,152 @@
+"""RebuildHierarchy (paper Sec. 3.2.2).
+
+The three steps, per level, top-down:
+
+1. apply the refinement test to the parent grids (boolean flag field,
+   expanded by a safety buffer cell);
+2. cluster flagged cells into rectangles (Berger-Rigoutsos,
+   :mod:`repro.amr.clustering`) — clustering within each parent guarantees
+   the full-nesting constraint by construction;
+3. create the new grids, copying from old same-level grids where they
+   overlap and interpolating from the parent elsewhere; the old grids are
+   then dropped (freeing their memory — the alloc/free traffic the paper's
+   Fig. 5 discussion highlights).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import binary_dilation
+
+from repro.amr.clustering import cluster_flagged_cells
+from repro.amr.grid import Grid
+from repro.amr.interpolation import is_positive_field, prolong_region
+from repro.precision.doubledouble import DoubleDouble
+
+
+def _fill_new_grid(grid: Grid, parent: Grid, old_grids: list[Grid]) -> None:
+    """Fill the whole array (ghosts included): prolong from the parent,
+    then overwrite with old same-level data where it overlaps.
+
+    Filling ghosts too means a freshly rebuilt grid can take its next
+    hydro step immediately (the paper's control flow rebuilds at the end
+    of each step and solves at the top of the next iteration, before the
+    next SetBoundaryValues).
+    """
+    r = grid.refine_factor
+    ng = grid.nghost
+    lo_f = grid.start_index - ng
+    hi_f = grid.end_index + ng
+    lo_p = np.floor_divide(lo_f, r) - 1
+    hi_p = -(-hi_f // r) + 1
+    ng_p = parent.nghost
+    p_sl = tuple(
+        slice(int(lo_p[d] - parent.start_index[d] + ng_p),
+              int(hi_p[d] - parent.start_index[d] + ng_p))
+        for d in range(3)
+    )
+    fine_offset = lo_f - lo_p * r
+    full_shape = grid.shape_with_ghosts
+    names = [k for k, _ in grid.fields.array_items()]
+    for name in names:
+        coarse = parent.fields[name][p_sl]
+        grid.fields[name][...] = prolong_region(
+            coarse, r, full_shape, fine_offset,
+            positive=is_positive_field(name),
+        )
+    grid.phi[...] = prolong_region(parent.phi[p_sl], r, full_shape, fine_offset)
+
+    for old in old_grids:
+        # copy wherever my ghost-padded region overlaps the old interior
+        lo = np.maximum(lo_f, old.start_index)
+        hi = np.minimum(hi_f, old.end_index)
+        if np.any(lo >= hi):
+            continue
+        dst = tuple(
+            slice(int(lo[d] - lo_f[d]), int(hi[d] - lo_f[d])) for d in range(3)
+        )
+        src = tuple(
+            slice(int(lo[d] - old.start_index[d] + old.nghost),
+                  int(hi[d] - old.start_index[d] + old.nghost))
+            for d in range(3)
+        )
+        for name in names:
+            grid.fields[name][dst] = old.fields[name][src]
+        grid.phi[dst] = old.phi[src]
+
+
+def rebuild_hierarchy(hierarchy, level: int, criteria, dm_density_fn=None,
+                      efficiency: float = 0.7, min_size: int = 2,
+                      buffer_cells: int = 1, max_dims: int = 32,
+                      max_level: int | None = None) -> None:
+    """Rebuild grids on ``level`` and deeper.
+
+    ``criteria`` is a :class:`RefinementCriteria`; ``dm_density_fn(grid)``
+    returns the deposited dark-matter density on a grid's interior (or
+    None).  ``max_dims`` caps each new grid's extent per dimension (big
+    boxes are bisected — keeps grids "generally small (~20^3) and numerous"
+    as the paper describes).
+    """
+    if level < 1:
+        raise ValueError("the root grid is never rebuilt")
+
+    # keep the old grids' data alive for copying while the tree is replaced
+    old_by_level = {
+        l: list(hierarchy.level_grids(l))
+        for l in range(level, hierarchy.max_level + 1)
+    }
+    hierarchy.remove_level_grids(level)
+
+    lvl = level
+    while True:
+        if max_level is not None and lvl > max_level:
+            break
+        if getattr(criteria, "max_level", None) is not None and lvl > criteria.max_level:
+            break
+        parents = hierarchy.level_grids(lvl - 1)
+        old_grids = old_by_level.get(lvl, [])
+        new_grids: list[Grid] = []
+        r = hierarchy.refine_factor
+        for parent in parents:
+            flags = criteria.flag_cells(
+                parent, dm_density_fn(parent) if dm_density_fn else None
+            )
+            if buffer_cells > 0 and flags.any():
+                flags = binary_dilation(flags, iterations=buffer_cells)
+            if not flags.any():
+                continue
+            boxes = cluster_flagged_cells(flags, efficiency=efficiency,
+                                          min_size=min_size)
+            for box in boxes:
+                for blo, bhi in _split_box(box.lo, box.hi, max_dims):
+                    start = (parent.start_index + np.array(blo)) * r
+                    dims = (np.array(bhi) - np.array(blo)) * r
+                    g = Grid(lvl, start, dims, hierarchy.n_root, r, hierarchy.nghost)
+                    g.allocate(hierarchy.advected)
+                    new_grids.append((g, parent))
+
+        for g, parent in new_grids:
+            hierarchy.add_grid(g, parent)
+            _fill_new_grid(g, parent, old_grids)
+            g.time = DoubleDouble(parent.time)
+
+        if not new_grids:
+            break
+        lvl += 1
+
+
+def _split_box(lo, hi, max_dims: int):
+    """Recursively bisect boxes larger than max_dims per dimension."""
+    dims = [h - l for l, h in zip(lo, hi)]
+    big = [d for d in range(3) if dims[d] > max_dims]
+    if not big:
+        yield tuple(lo), tuple(hi)
+        return
+    axis = big[0]
+    mid = lo[axis] + dims[axis] // 2
+    lo_a, hi_a = list(lo), list(hi)
+    hi_a[axis] = mid
+    lo_b = list(lo)
+    lo_b[axis] = mid
+    yield from _split_box(tuple(lo_a), tuple(hi_a), max_dims)
+    yield from _split_box(tuple(lo_b), tuple(hi), max_dims)

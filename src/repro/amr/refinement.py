@@ -1,0 +1,79 @@
+"""Refinement criteria (paper Sec. 3.2.3).
+
+Three tests, exactly as described:
+
+1. **Baryon mass** — a cell holding more than M* of gas is refined ("since
+   gravitational collapse causes mass to flow into a small number of
+   cells ... designed to preserve a given mass resolution").
+2. **Dark-matter mass** — the same for the deposited particle density.
+3. **Jeans length** — "we require that the cell width be less than some
+   fraction of the local Jeans length (dx < L_J / N_J)", N_J varied 4..64
+   in the paper's robustness experiments.
+
+Mass thresholds are specified at the root level and optionally scaled per
+level by ``refine_by**(level * exponent)`` (Enzo's
+MinimumMassForRefinementLevelExponent; exponent<0 makes refinement
+super-Lagrangian).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RefinementCriteria:
+    """Configuration + evaluation of the flagging tests on one grid.
+
+    Parameters: ``gas_mass_threshold`` / ``dm_mass_threshold`` (code mass
+    per cell, at level 0), ``jeans_number`` (N_J; None disables),
+    ``level_exponent`` (per-level threshold scaling), an optional simple
+    ``overdensity_threshold``, the unit system + scale factor the Jeans
+    test needs, and ``max_level`` as the depth cap.
+    """
+
+    def __init__(self, gas_mass_threshold=None, dm_mass_threshold=None,
+                 jeans_number=None, level_exponent=0.0,
+                 overdensity_threshold=None, units=None, a=1.0, max_level=None):
+        self.gas_mass_threshold = gas_mass_threshold
+        self.dm_mass_threshold = dm_mass_threshold
+        self.jeans_number = jeans_number
+        self.level_exponent = level_exponent
+        self.overdensity_threshold = overdensity_threshold
+        self.units = units
+        self.a = a
+        self.max_level = max_level
+
+    def _mass_threshold(self, base: float, grid) -> float:
+        scale = grid.refine_factor ** (grid.level * self.level_exponent)
+        return base * scale
+
+    def flag_cells(self, grid, dm_density: np.ndarray | None = None) -> np.ndarray:
+        """Boolean interior-shaped flag field for one grid.
+
+        ``dm_density`` is the deposited dark-matter density on the grid
+        interior (same shape), or None when there are no particles.
+        """
+        if self.max_level is not None and grid.level >= self.max_level:
+            return np.zeros(tuple(int(d) for d in grid.dims), dtype=bool)
+        interior = grid.interior
+        rho = grid.fields["density"][interior]
+        flags = np.zeros(rho.shape, dtype=bool)
+        cell_volume = grid.dx**3
+
+        if self.gas_mass_threshold is not None:
+            thresh = self._mass_threshold(self.gas_mass_threshold, grid)
+            flags |= rho * cell_volume > thresh
+
+        if self.dm_mass_threshold is not None and dm_density is not None:
+            thresh = self._mass_threshold(self.dm_mass_threshold, grid)
+            flags |= dm_density * cell_volume > thresh
+
+        if self.jeans_number is not None and self.units is not None:
+            e = grid.fields["internal"][interior]
+            lj = self.units.jeans_length_code(rho, e, self.a)
+            flags |= grid.dx > lj / self.jeans_number
+
+        if self.overdensity_threshold is not None:
+            flags |= rho > self.overdensity_threshold
+
+        return flags

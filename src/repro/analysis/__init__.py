@@ -1,0 +1,41 @@
+"""Analysis tools (paper Sec. 4 and Sec. 6).
+
+The paper's analysis pipeline "range[s] from computing direct
+hydrodynamical quantities, such as temperatures and densities, to derived
+quantities like cooling times, two-body relaxation times, X-ray
+luminosities and inertial tensors", plus the "Jacques" zoom navigator used
+for Fig. 3.  Here:
+
+* :mod:`repro.analysis.profiles`    — densest-point finding and
+  mass-weighted spherical radial profiles (Fig. 4 panels A-E).
+* :mod:`repro.analysis.projections` — composite slices through the
+  hierarchy at arbitrary resolution, and the x10 zoom stack (Fig. 3).
+* :mod:`repro.analysis.clumps`      — collapsed-object finding and the
+  derived quantities above.
+"""
+
+from repro.analysis.profiles import find_densest_point, radial_profiles, enclosed_mass_profile
+from repro.analysis.projections import column_density, composite_slice, zoom_stack
+from repro.analysis.clumps import find_clumps, cooling_time, freefall_time, inertia_tensor, xray_luminosity
+from repro.analysis.jacques import Jacques
+from repro.analysis.halos import friends_of_friends, spherical_overdensity
+from repro.analysis.phase import phase_diagram, phase_summary
+
+__all__ = [
+    "find_densest_point",
+    "radial_profiles",
+    "enclosed_mass_profile",
+    "column_density",
+    "composite_slice",
+    "zoom_stack",
+    "find_clumps",
+    "cooling_time",
+    "freefall_time",
+    "inertia_tensor",
+    "xray_luminosity",
+    "Jacques",
+    "friends_of_friends",
+    "spherical_overdensity",
+    "phase_diagram",
+    "phase_summary",
+]

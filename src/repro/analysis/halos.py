@@ -1,0 +1,150 @@
+"""Dark-matter halo finding (paper Sec. 6: "finding collapsed objects").
+
+Two standard finders over the particle set:
+
+* friends-of-friends (FoF) with the usual linking length b ~ 0.2 of the
+  mean interparticle spacing, grid-bucketed so it stays O(N) at these
+  particle counts;
+* spherical overdensity (SO): grow spheres around density peaks until the
+  enclosed mean density falls to Delta_vir times the mean (18 pi^2 for the
+  EdS top-hat, :mod:`repro.cosmology.tophat`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cosmology.tophat import VIRIAL_OVERDENSITY
+
+
+def _positions(particles) -> np.ndarray:
+    return particles.positions.hi + particles.positions.lo
+
+
+def friends_of_friends(particles, linking_length: float | None = None,
+                       min_members: int = 8) -> list[dict]:
+    """FoF groups in the periodic unit box.
+
+    ``linking_length`` defaults to 0.2 * n^-1/3.  Returns one dict per
+    group (members >= min_members): particle indices, mass, centre of
+    mass, velocity dispersion.
+    """
+    n = len(particles)
+    if n == 0:
+        return []
+    pos = _positions(particles) % 1.0
+    if linking_length is None:
+        linking_length = 0.2 * n ** (-1.0 / 3.0)
+    b = float(linking_length)
+
+    # bucket by cells of size >= b so neighbours are within adjacent cells
+    n_cells = max(int(1.0 / b), 1)
+    cell_size = 1.0 / n_cells
+    cell_idx = np.minimum((pos / cell_size).astype(int), n_cells - 1)
+    cell_key = (cell_idx[:, 0] * n_cells + cell_idx[:, 1]) * n_cells + cell_idx[:, 2]
+    order = np.argsort(cell_key)
+    keys_sorted = cell_key[order]
+    starts = np.searchsorted(keys_sorted, np.arange(n_cells**3))
+
+    # union-find
+    parent = np.arange(n)
+
+    def find(i):
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:
+            parent[i], i = root, parent[i]
+        return root
+
+    def union(i, j):
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    b2 = b * b
+    offsets = [np.array(o) for o in np.ndindex(3, 3, 3)]
+    for ci in range(n_cells**3):
+        lo = starts[ci]
+        hi = starts[ci + 1] if ci + 1 < n_cells**3 else n
+        if lo >= hi:
+            continue
+        mine = order[lo:hi]
+        cz = ci % n_cells
+        cy = (ci // n_cells) % n_cells
+        cx = ci // (n_cells * n_cells)
+        neigh_list = [mine]
+        for off in offsets:
+            if np.all(off == 1):
+                continue
+            nx = (cx + off[0] - 1) % n_cells
+            ny = (cy + off[1] - 1) % n_cells
+            nz = (cz + off[2] - 1) % n_cells
+            cj = (nx * n_cells + ny) * n_cells + nz
+            if cj <= ci:
+                continue  # each pair of cells handled once
+            lo2 = starts[cj]
+            hi2 = starts[cj + 1] if cj + 1 < n_cells**3 else n
+            if lo2 < hi2:
+                neigh_list.append(order[lo2:hi2])
+        base = neigh_list[0]
+        for group in neigh_list:
+            # pairwise distances (small buckets)
+            d = pos[base][:, None, :] - pos[group][None, :, :]
+            d -= np.round(d)
+            close = (d**2).sum(axis=2) < b2
+            ii, jj = np.nonzero(close)
+            for a_, b_ in zip(base[ii], group[jj]):
+                if a_ != b_:
+                    union(int(a_), int(b_))
+
+    roots = np.array([find(i) for i in range(n)])
+    groups = []
+    for root in np.unique(roots):
+        members = np.nonzero(roots == root)[0]
+        if len(members) < min_members:
+            continue
+        m = particles.masses[members]
+        p = pos[members]
+        # unwrap around the first member for a sensible centre of mass
+        d = p - p[0]
+        d -= np.round(d)
+        com = (p[0] + (d * m[:, None]).sum(axis=0) / m.sum()) % 1.0
+        vel = particles.velocities[members]
+        vbar = (vel * m[:, None]).sum(axis=0) / m.sum()
+        disp = np.sqrt((m * ((vel - vbar) ** 2).sum(axis=1)).sum() / m.sum())
+        groups.append({
+            "members": members,
+            "n_members": int(len(members)),
+            "mass": float(m.sum()),
+            "position": com,
+            "velocity_dispersion": float(disp),
+        })
+    return sorted(groups, key=lambda g: -g["mass"])
+
+
+def spherical_overdensity(particles, centre, overdensity: float = VIRIAL_OVERDENSITY,
+                          mean_density: float = 1.0, r_max: float = 0.5) -> dict:
+    """SO halo about a centre: R_vir where <rho(<R)> = Delta * mean.
+
+    Returns radius, enclosed mass, and member count (empty halo -> radius 0).
+    """
+    pos = _positions(particles)
+    d = pos - np.asarray(centre)
+    d -= np.round(d)
+    r = np.sqrt((d**2).sum(axis=1))
+    order = np.argsort(r)
+    r_sorted = r[order]
+    m_cum = np.cumsum(particles.masses[order])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mean_within = m_cum / (4.0 / 3.0 * np.pi * np.maximum(r_sorted, 1e-12) ** 3)
+    target = overdensity * mean_density
+    inside = (mean_within >= target) & (r_sorted <= r_max)
+    if not inside.any():
+        return {"radius": 0.0, "mass": 0.0, "n_members": 0}
+    last = np.nonzero(inside)[0][-1]
+    return {
+        "radius": float(r_sorted[last]),
+        "mass": float(m_cum[last]),
+        "n_members": int(last + 1),
+    }

@@ -1,0 +1,81 @@
+"""Phase diagrams: mass-weighted rho-T (and friends) histograms.
+
+The classic way to read a multiphase simulation: where does the mass live
+in density-temperature space?  The paper's narrative (cooling gas settling
+behind the accretion shock, the cold 200 K "molecular cloud" core, the
+adiabatic heating of the centre) is exactly a trajectory in this plane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants as const
+from repro.analysis.profiles import _gather_cells
+
+
+def phase_diagram(hierarchy, units=None, a: float = 1.0,
+                  x_field: str = "density", y_field: str = "temperature",
+                  bins: int = 32, x_range=None, y_range=None) -> dict:
+    """Mass-weighted 2-d histogram over the composite solution.
+
+    ``x_field``/``y_field``: 'density' | 'number_density' | 'temperature' |
+    'specific_energy' | any raw grid field.  With ``units`` given,
+    'number_density' is in cm^-3 and 'temperature' in K.
+    Returns dict with 'x_edges', 'y_edges' (log10 space) and 'mass' (2-d).
+    """
+    data = _gather_cells(hierarchy, ["density", "internal"])
+    mass = data["density"] * data["volume"]
+
+    def resolve(name):
+        if name == "density":
+            return data["density"]
+        if name == "specific_energy":
+            return data["internal"]
+        if name == "number_density":
+            if units is None:
+                raise ValueError("number_density needs units")
+            return units.number_density_cgs(data["density"], a, const.MU_NEUTRAL)
+        if name == "temperature":
+            if units is None:
+                raise ValueError("temperature needs units")
+            return units.temperature_from_energy(data["internal"], const.MU_NEUTRAL, a)
+        extra = _gather_cells(hierarchy, [name])
+        return extra[name]
+
+    x = np.log10(np.maximum(resolve(x_field), 1e-300))
+    y = np.log10(np.maximum(resolve(y_field), 1e-300))
+    if x_range is None:
+        x_range = (x.min() - 1e-6, x.max() + 1e-6)
+    if y_range is None:
+        y_range = (y.min() - 1e-6, y.max() + 1e-6)
+    hist, x_edges, y_edges = np.histogram2d(
+        x, y, bins=bins, range=[x_range, y_range], weights=mass
+    )
+    return {
+        "mass": hist,
+        "x_edges": x_edges,
+        "y_edges": y_edges,
+        "x_field": x_field,
+        "y_field": y_field,
+        "total_mass": float(mass.sum()),
+    }
+
+
+def phase_summary(diagram: dict) -> dict:
+    """Mass-weighted means/spreads of both axes (log10 space)."""
+    m = diagram["mass"]
+    xc = 0.5 * (diagram["x_edges"][:-1] + diagram["x_edges"][1:])
+    yc = 0.5 * (diagram["y_edges"][:-1] + diagram["y_edges"][1:])
+    total = max(m.sum(), 1e-300)
+    x_mean = float((m.sum(axis=1) * xc).sum() / total)
+    y_mean = float((m.sum(axis=0) * yc).sum() / total)
+    x_var = float((m.sum(axis=1) * (xc - x_mean) ** 2).sum() / total)
+    y_var = float((m.sum(axis=0) * (yc - y_mean) ** 2).sum() / total)
+    return {
+        "log_x_mean": x_mean,
+        "log_y_mean": y_mean,
+        "log_x_std": float(np.sqrt(x_var)),
+        "log_y_std": float(np.sqrt(y_var)),
+        "mass_fraction_in_peak_bin": float(m.max() / total),
+    }

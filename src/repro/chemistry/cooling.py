@@ -1,0 +1,138 @@
+"""Radiative cooling/heating of the primordial gas (paper Sec. 2.2).
+
+"We include all known radiative loss terms due to atoms, ions, and
+molecules that are appropriate for our primordial gas.  Also the energy
+exchange between the cosmic microwave background and free electrons
+(Compton heating and cooling) is included."
+
+Terms (all optically thin, ground-state excitation only, as the paper
+argues is accurate at these densities):
+
+* H and He+ collisional line excitation, collisional ionisation,
+  recombination, dielectronic recombination (Cen 1992 / Black 1981 fits);
+* thermal bremsstrahlung;
+* H2 rovibrational cooling: Galli & Palla (1998) low-density limit bridged
+  to the Hollenbach & McKee (1979) LTE limit — this is the channel that
+  cools the paper's "primordial molecular cloud" to a few hundred K;
+* a simple HD cooling term (important only below ~200 K);
+* Compton scattering against the CMB (cools when T > T_cmb, heats below).
+
+``cooling_rate`` returns the net volumetric energy *loss* rate in
+erg s^-1 cm^-3 (positive = cooling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants as const
+from repro.chemistry.species import electron_density
+
+
+def _g(T):
+    return np.maximum(np.asarray(T, dtype=float), 1.0)
+
+
+def atomic_cooling(n: dict, T) -> np.ndarray:
+    """H/He line, ionisation, recombination and bremsstrahlung losses."""
+    T = _g(T)
+    ne = np.maximum(electron_density(n), 0.0)
+    sq = np.sqrt(T)
+    damp = 1.0 / (1.0 + np.sqrt(T / 1e5))
+
+    rate = np.zeros_like(T)
+    # collisional excitation (Ly-alpha; He+ n=2)
+    rate += 7.50e-19 * np.exp(-118348.0 / T) * damp * ne * n["HI"]
+    rate += 5.54e-17 * T**-0.397 * np.exp(-473638.0 / T) * damp * ne * n["HeII"]
+    # collisional ionisation
+    rate += 1.27e-21 * sq * np.exp(-157809.1 / T) * damp * ne * n["HI"]
+    rate += 9.38e-22 * sq * np.exp(-285335.4 / T) * damp * ne * n["HeI"]
+    rate += 4.95e-22 * sq * np.exp(-631515.0 / T) * damp * ne * n["HeII"]
+    # recombination
+    rate += 8.70e-27 * sq * (T / 1e3) ** -0.2 / (1.0 + (T / 1e6) ** 0.7) * ne * n["HII"]
+    rate += 1.55e-26 * T**0.3647 * ne * n["HeII"]
+    rate += (
+        3.48e-26 * sq * (T / 1e3) ** -0.2 / (1.0 + (T / 1e6) ** 0.7) * ne * n["HeIII"]
+    )
+    # dielectronic He+ recombination
+    rate += (
+        1.24e-13
+        * T**-1.5
+        * np.exp(-470000.0 / T)
+        * (1.0 + 0.3 * np.exp(-94000.0 / T))
+        * ne
+        * n["HeII"]
+    )
+    # bremsstrahlung (gaunt factor ~ 1.1-1.5)
+    gff = 1.1 + 0.34 * np.exp(-((5.5 - np.log10(T)) ** 2) / 3.0)
+    rate += 1.43e-27 * sq * gff * ne * (n["HII"] + n["HeII"] + 4.0 * n["HeIII"])
+    # the fits are not valid below ~10 K (they would otherwise extrapolate
+    # recombination cooling past the regime where Compton sets the floor)
+    return np.where(T < 10.0, 0.0, rate)
+
+
+def h2_cooling(n: dict, T) -> np.ndarray:
+    """H2 rovibrational cooling: GP98 low-density limit -> HM79 LTE limit."""
+    T = _g(T)
+    logt = np.log10(np.clip(T, 10.0, 1e4))
+    # Galli & Palla (1998) H2-H low-density cooling function (erg cm^3/s)
+    log_ldl = (
+        -103.0
+        + 97.59 * logt
+        - 48.05 * logt**2
+        + 10.80 * logt**3
+        - 0.9032 * logt**4
+    )
+    lam_ldl = 10.0**log_ldl  # per (n_H2 n_H)
+
+    # Hollenbach & McKee (1979) LTE cooling per H2 molecule (erg/s)
+    t3 = T / 1000.0
+    lte_rot = (
+        9.5e-22 * t3**3.76 / (1.0 + 0.12 * t3**2.1) * np.exp(-((0.13 / t3) ** 3))
+        + 3.0e-24 * np.exp(-0.51 / t3)
+    )
+    lte_vib = 6.7e-19 * np.exp(-5.86 / t3) + 1.6e-18 * np.exp(-11.7 / t3)
+    lam_lte = lte_rot + lte_vib
+
+    n_h = np.maximum(n["HI"], 1e-300)
+    low = lam_ldl * n_h  # per H2 molecule, low-density limit
+    with np.errstate(over="ignore"):
+        lam = lam_lte / (1.0 + lam_lte / np.maximum(low, 1e-300))
+    out = n["H2I"] * lam
+    return np.where(T < 10.0, 0.0, out)
+
+
+def hd_cooling(n: dict, T) -> np.ndarray:
+    """Approximate HD rotational cooling (Galli & Palla 1998 magnitude).
+
+    Matters only in the 30-200 K regime; a power-law bridge anchored at
+    Lambda_HD(100 K) ~ 1e-25 n_H erg/s per molecule reproduces the published
+    curve to within a factor ~2 over that range.
+    """
+    T = _g(T)
+    lam = 1e-25 * (T / 100.0) ** 2.5 * np.exp(-128.0 / T)
+    return n["HDI"] * np.maximum(n["HI"], 0.0) / 1e3 * lam / 1e3
+
+
+def compton(n: dict, T, z: float, t_cmb0: float = const.CMB_TEMPERATURE_Z0) -> np.ndarray:
+    """Compton energy exchange with the CMB (positive = cooling).
+
+    Lambda_C = (4 sigma_T a_r T_cmb^4 k_B / (m_e c)) * n_e * (T - T_cmb).
+    """
+    T = _g(T)
+    t_cmb = t_cmb0 * (1.0 + z)
+    ne = np.maximum(electron_density(n), 0.0)
+    coeff = (
+        4.0
+        * const.THOMSON_CROSS_SECTION
+        * const.RADIATION_CONSTANT
+        * t_cmb**4
+        * const.BOLTZMANN_CONSTANT
+        / (const.ELECTRON_MASS * const.SPEED_OF_LIGHT)
+    )
+    return coeff * ne * (T - t_cmb)
+
+
+def cooling_rate(n: dict, T, z: float = 0.0) -> np.ndarray:
+    """Total net volumetric cooling rate, erg s^-1 cm^-3 (positive=cooling)."""
+    return atomic_cooling(n, T) + h2_cooling(n, T) + hd_cooling(n, T) + compton(n, T, z)

@@ -1,0 +1,77 @@
+"""Equilibrium diagnostics: ionisation balance and the cooling curve.
+
+Collisional ionisation equilibrium (CIE) abundances and the classic
+Lambda(T) cooling function are the standard way to sanity-check a
+chemistry+cooling implementation against the literature; the network
+itself (out of equilibrium, the paper's whole point) is solved by
+:mod:`repro.chemistry.network`, and these routines provide its limits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants as const
+from repro.chemistry.cooling import cooling_rate
+from repro.chemistry.rates import RateTable
+from repro.chemistry.species import SPECIES_NAMES
+
+
+def cie_fractions(T, rates: RateTable | None = None) -> dict:
+    """Collisional ionisation equilibrium fractions for H and He.
+
+    Returns x_HI, x_HII (of H nuclei) and x_HeI, x_HeII, x_HeIII (of He
+    nuclei) at temperature(s) T — the detailed-balance ratios of the
+    collisional ionisation and recombination rates.
+    """
+    k = (rates or RateTable())(np.asarray(T, dtype=float))
+    r1 = k["k1"] / np.maximum(k["k2"], 1e-300)  # HII/HI
+    x_hi = 1.0 / (1.0 + r1)
+    x_hii = 1.0 - x_hi
+    r3 = k["k3"] / np.maximum(k["k4"], 1e-300)  # HeII/HeI
+    r5 = k["k5"] / np.maximum(k["k6"], 1e-300)  # HeIII/HeII
+    denom = 1.0 + r3 + r3 * r5
+    x_hei = 1.0 / denom
+    x_heii = r3 / denom
+    x_heiii = r3 * r5 / denom
+    return {
+        "x_HI": x_hi, "x_HII": x_hii,
+        "x_HeI": x_hei, "x_HeII": x_heii, "x_HeIII": x_heiii,
+    }
+
+
+def equilibrium_number_densities(n_h: float, T, f_h2: float = 0.0,
+                                 rates: RateTable | None = None) -> dict:
+    """Species number densities at CIE for given H nuclei density (cm^-3)."""
+    T = np.asarray(T, dtype=float)
+    fr = cie_fractions(T, rates)
+    n_he = n_h * (const.HELIUM_MASS_FRACTION / const.HYDROGEN_MASS_FRACTION) / 4.0
+    n_d = n_h * const.DEUTERIUM_TO_HYDROGEN
+    zero = np.zeros_like(T)
+    n = {s: zero.copy() for s in SPECIES_NAMES}
+    n["H2I"] = np.full_like(T, 0.5 * f_h2 * n_h)
+    n_h_atomic = n_h * (1.0 - f_h2)
+    n["HI"] = n_h_atomic * fr["x_HI"]
+    n["HII"] = n_h_atomic * fr["x_HII"]
+    n["HeI"] = n_he * fr["x_HeI"]
+    n["HeII"] = n_he * fr["x_HeII"]
+    n["HeIII"] = n_he * fr["x_HeIII"]
+    n["DI"] = n_d * fr["x_HI"]
+    n["DII"] = n_d * fr["x_HII"]
+    n["de"] = n["HII"] + n["HeII"] + 2 * n["HeIII"] + n["DII"]
+    return n
+
+
+def cooling_curve(T, n_h: float = 1.0, f_h2: float = 0.0, z: float = 0.0,
+                  rates: RateTable | None = None) -> np.ndarray:
+    """Normalised CIE cooling function Lambda(T)/n_H^2 in erg cm^3 s^-1.
+
+    With ``f_h2 = 0`` this is the classic primordial (H+He) curve: the
+    Ly-alpha peak near 2e4 K, the He+ peak near 1e5 K, bremsstrahlung at
+    high T.  With molecular hydrogen present the curve extends below 1e4 K
+    — the extension that makes the paper's star formation possible.
+    """
+    T = np.asarray(T, dtype=float)
+    n = equilibrium_number_densities(n_h, T, f_h2, rates)
+    lam = cooling_rate(n, T, z)
+    return lam / n_h**2

@@ -1,0 +1,254 @@
+"""Reaction-rate coefficients for the primordial network.
+
+"We have tediously selected the dominant reactions and collected the most
+accurate reaction rates available [Abel et al. 1997]." (paper Sec. 2.2)
+
+The fits below are the standard ones from that literature lineage — Cen
+(1992) / Black (1981) for the H/He collisional ionisation & recombination
+system, Shapiro & Kang (1987), Karpas et al. (1979) and Galli & Palla
+(1998) for the H2 formation/destruction channels, Palla, Salpeter &
+Stahler (1983) for three-body H2 formation (the process the paper singles
+out as driving the final collapse), and Galli & Palla (1998) for the
+deuterium network.  Where a modern fit differs from the exact Abel et al.
+table the discrepancy is a factor <~2, which shifts collapse *timing*
+slightly but none of the qualitative behaviour the paper reports.
+
+All two-body rates are cm^3 s^-1; three-body rates cm^6 s^-1; temperatures
+in K.  Every function is vectorised over T.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _clip_T(T):
+    return np.clip(np.asarray(T, dtype=float), 1.0, 1e9)
+
+
+class RateTable:
+    """Evaluate all rate coefficients at an array of temperatures.
+
+    Calling ``RateTable()(T)`` returns a dict name -> ndarray.  Individual
+    rates are exposed as static methods for unit testing.
+    """
+
+    # --- hydrogen / helium ionisation balance (Cen 1992; Black 1981) -------
+    @staticmethod
+    def k1_HI_ionisation(T):
+        """H + e -> H+ + 2e"""
+        T = _clip_T(T)
+        return (
+            5.85e-11 * np.sqrt(T) * np.exp(-157809.1 / T) / (1.0 + np.sqrt(T / 1e5))
+        )
+
+    @staticmethod
+    def k2_HII_recombination(T):
+        """H+ + e -> H + photon (case B-like fit)"""
+        T = _clip_T(T)
+        return (
+            8.4e-11
+            / np.sqrt(T)
+            * (T / 1e3) ** -0.2
+            / (1.0 + (T / 1e6) ** 0.7)
+        )
+
+    @staticmethod
+    def k3_HeI_ionisation(T):
+        """He + e -> He+ + 2e"""
+        T = _clip_T(T)
+        return (
+            2.38e-11 * np.sqrt(T) * np.exp(-285335.4 / T) / (1.0 + np.sqrt(T / 1e5))
+        )
+
+    @staticmethod
+    def k4_HeII_recombination(T):
+        """He+ + e -> He (radiative + dielectronic)"""
+        T = _clip_T(T)
+        radiative = 1.5e-10 * T**-0.6353
+        dielectronic = (
+            1.9e-3
+            * T**-1.5
+            * np.exp(-470000.0 / T)
+            * (1.0 + 0.3 * np.exp(-94000.0 / T))
+        )
+        return radiative + dielectronic
+
+    @staticmethod
+    def k5_HeII_ionisation(T):
+        """He+ + e -> He++ + 2e"""
+        T = _clip_T(T)
+        return (
+            5.68e-12 * np.sqrt(T) * np.exp(-631515.0 / T) / (1.0 + np.sqrt(T / 1e5))
+        )
+
+    @staticmethod
+    def k6_HeIII_recombination(T):
+        """He++ + e -> He+"""
+        T = _clip_T(T)
+        return (
+            3.36e-10
+            / np.sqrt(T)
+            * (T / 1e3) ** -0.2
+            / (1.0 + (T / 1e6) ** 0.7)
+        )
+
+    # --- H2 formation via H- and H2+ ----------------------------------------
+    @staticmethod
+    def k7_HM_formation(T):
+        """H + e -> H- + photon (Galli & Palla 1998)"""
+        T = _clip_T(T)
+        return 1.4e-18 * T**0.928 * np.exp(-T / 16200.0)
+
+    @staticmethod
+    def k8_H2_from_HM(T):
+        """H- + H -> H2 + e (associative detachment)"""
+        T = _clip_T(T)
+        # weak T dependence; 1.3e-9 is the classic value near 100-1000 K
+        return 1.3e-9 * (T / 300.0) ** 0.0 + 0.0 * T
+
+    @staticmethod
+    def k9_H2II_formation(T):
+        """H + H+ -> H2+ + photon (Shapiro & Kang 1987)"""
+        T = _clip_T(T)
+        low = 1.85e-23 * T**1.8
+        logratio = np.log10(np.maximum(T, 1.0) / 56200.0)
+        high = 5.81e-16 * (T / 56200.0) ** (-0.6657 * logratio)
+        return np.where(T < 6700.0, low, high)
+
+    @staticmethod
+    def k10_H2_from_H2II(T):
+        """H2+ + H -> H2 + H+ (Karpas et al. 1979)"""
+        T = _clip_T(T)
+        return 6.0e-10 + 0.0 * T
+
+    # --- H2 destruction -------------------------------------------------------
+    @staticmethod
+    def k11_H2_HII_exchange(T):
+        """H2 + H+ -> H2+ + H (Shapiro & Kang 1987)"""
+        T = _clip_T(T)
+        return 3.0e-10 * np.exp(-21050.0 / T)
+
+    @staticmethod
+    def k12_H2_e_dissociation(T):
+        """H2 + e -> 2H + e"""
+        T = _clip_T(T)
+        return 4.38e-10 * T**0.35 * np.exp(-102000.0 / T)
+
+    @staticmethod
+    def k13_H2_H_dissociation(T):
+        """H2 + H -> 3H (collisional dissociation, low-density limit;
+        Dove & Mandy 1986 fit in eV as used by Abel et al. 1997)"""
+        T = _clip_T(T)
+        t_ev = T / 11604.5
+        return (
+            1.067e-10
+            * t_ev**2.012
+            * np.exp(-4.463 / t_ev)
+            / (1.0 + 0.2472 * t_ev) ** 3.512
+        )
+
+    # --- H- / H2+ minor channels ---------------------------------------------
+    @staticmethod
+    def k14_HM_e_detachment(T):
+        """H- + e -> H + 2e (approximate Janev-type fit)"""
+        T = _clip_T(T)
+        t_ev = T / 11604.5
+        return np.where(
+            t_ev > 0.04,
+            np.exp(
+                -18.01849334
+                + 2.3608522 * np.log(np.maximum(t_ev, 1e-10))
+                - 0.28274430 * np.log(np.maximum(t_ev, 1e-10)) ** 2
+            ),
+            0.0,
+        )
+
+    @staticmethod
+    def k16_HM_HII_neutralisation(T):
+        """H- + H+ -> 2H (mutual neutralisation; Croft et al. 1999 scale)"""
+        T = _clip_T(T)
+        return 2.4e-6 / np.sqrt(T) * (1.0 + T / 20000.0)
+
+    @staticmethod
+    def k18_H2II_e_recombination(T):
+        """H2+ + e -> 2H (dissociative recombination; Galli & Palla 1998)"""
+        T = _clip_T(T)
+        return 2.0e-7 / np.sqrt(T) * 1e2**0.0
+
+    # --- three-body H2 formation (drives the final collapse; paper Sec. 4) ---
+    @staticmethod
+    def k22_threebody_H2(T):
+        """3H -> H2 + H (Palla, Salpeter & Stahler 1983), cm^6/s"""
+        T = _clip_T(T)
+        return 5.5e-29 / T
+
+    @staticmethod
+    def k23_threebody_H2_with_H2(T):
+        """2H + H2 -> 2 H2 (PSS83 / 8), cm^6/s"""
+        T = _clip_T(T)
+        return 5.5e-29 / (8.0 * T)
+
+    # --- deuterium network (Galli & Palla 1998) ---------------------------------
+    @staticmethod
+    def d1_DII_recombination(T):
+        """D+ + e -> D (same as hydrogen to excellent accuracy)"""
+        return RateTable.k2_HII_recombination(T)
+
+    @staticmethod
+    def d2_D_charge_exchange(T):
+        """D + H+ -> D+ + H (endothermic by 43 K)"""
+        T = _clip_T(T)
+        return 3.7e-10 * T**0.28 * np.exp(-43.0 / T)
+
+    @staticmethod
+    def d3_DII_charge_exchange(T):
+        """D+ + H -> D + H+ (exothermic)"""
+        T = _clip_T(T)
+        return 3.7e-10 * T**0.28
+
+    @staticmethod
+    def d4_HD_formation(T):
+        """D+ + H2 -> HD + H+"""
+        T = _clip_T(T)
+        return 2.1e-9 + 0.0 * T
+
+    @staticmethod
+    def d5_HD_destruction(T):
+        """HD + H+ -> D+ + H2 (endothermic by 464 K)"""
+        T = _clip_T(T)
+        return 1.0e-9 * np.exp(-464.0 / T)
+
+    #: names in evaluation order
+    RATE_NAMES = (
+        "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9", "k10",
+        "k11", "k12", "k13", "k14", "k16", "k18", "k22", "k23",
+        "d1", "d2", "d3", "d4", "d5",
+    )
+
+    def __call__(self, T) -> dict:
+        return {
+            "k1": self.k1_HI_ionisation(T),
+            "k2": self.k2_HII_recombination(T),
+            "k3": self.k3_HeI_ionisation(T),
+            "k4": self.k4_HeII_recombination(T),
+            "k5": self.k5_HeII_ionisation(T),
+            "k6": self.k6_HeIII_recombination(T),
+            "k7": self.k7_HM_formation(T),
+            "k8": self.k8_H2_from_HM(T),
+            "k9": self.k9_H2II_formation(T),
+            "k10": self.k10_H2_from_H2II(T),
+            "k11": self.k11_H2_HII_exchange(T),
+            "k12": self.k12_H2_e_dissociation(T),
+            "k13": self.k13_H2_H_dissociation(T),
+            "k14": self.k14_HM_e_detachment(T),
+            "k16": self.k16_HM_HII_neutralisation(T),
+            "k18": self.k18_H2II_e_recombination(T),
+            "k22": self.k22_threebody_H2(T),
+            "k23": self.k23_threebody_H2_with_H2(T),
+            "d1": self.d1_DII_recombination(T),
+            "d2": self.d2_D_charge_exchange(T),
+            "d3": self.d3_DII_charge_exchange(T),
+            "d4": self.d4_HD_formation(T),
+            "d5": self.d5_HD_destruction(T),
+        }

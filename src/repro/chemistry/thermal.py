@@ -1,0 +1,85 @@
+"""Thermal balance utilities: equilibrium temperature and cooling-time maps.
+
+Where does cooling balance Compton heating?  Below what density does a
+parcel cool within a Hubble time?  These are the questions that decide the
+paper's collapse (gas only condenses once H2 cooling beats both adiabatic
+heating and the shrinking cooling budget), and the functions here answer
+them for arbitrary compositions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants as const
+from repro.chemistry.cooling import cooling_rate
+from repro.chemistry.species import SPECIES_NAMES
+
+
+def net_cooling(n: dict, T, z: float) -> np.ndarray:
+    """Net volumetric loss rate (positive = cooling), erg/s/cm^3."""
+    return cooling_rate(n, T, z)
+
+
+def equilibrium_temperature(n: dict, z: float, t_lo: float = 1.0,
+                            t_hi: float = 1e6, iterations: int = 60) -> np.ndarray:
+    """Temperature where net cooling vanishes (bisection, vectorised).
+
+    For a primordial mix the equilibrium sits essentially at T_cmb(z): the
+    Compton term heats below it and every channel cools above it.
+    """
+    shape = np.broadcast(*(np.asarray(n[s]) for s in SPECIES_NAMES)).shape
+    lo = np.full(shape, t_lo, dtype=float)
+    hi = np.full(shape, t_hi, dtype=float)
+    for _ in range(iterations):
+        mid = np.sqrt(lo * hi)
+        cooling = net_cooling(n, mid, z) > 0.0
+        hi = np.where(cooling, mid, hi)
+        lo = np.where(cooling, lo, mid)
+    return np.sqrt(lo * hi)
+
+
+def cooling_time_map(hierarchy, units, a: float) -> list:
+    """Per-grid cooling-time arrays (s) over the composite hierarchy.
+
+    Uses each grid's species fields; grids without chemistry fields get
+    None.  The paper's analysis pipeline computed exactly this diagnostic.
+    """
+    from repro.chemistry.species import SPECIES
+
+    z = 1.0 / a - 1.0
+    out = []
+    for g in hierarchy.all_grids():
+        if "HI" not in g.fields:
+            out.append(None)
+            continue
+        n = {}
+        for s in SPECIES_NAMES:
+            n[s] = (
+                g.field_view(s) * units.density_unit / a**3
+                / (SPECIES[s].mass_amu * const.HYDROGEN_MASS)
+            )
+        T = units.temperature_from_energy(
+            g.field_view("internal"), const.MU_NEUTRAL, a
+        )
+        n_tot = sum(n[s] for s in SPECIES_NAMES)
+        thermal = 1.5 * n_tot * const.BOLTZMANN_CONSTANT * T
+        lam = np.maximum(net_cooling(n, T, z), 1e-300)
+        out.append(thermal / lam)
+    return out
+
+
+def cooling_vs_freefall(n: dict, T, rho_cgs, z: float) -> np.ndarray:
+    """t_cool / t_ff — the Rees-Ostriker criterion.
+
+    < 1 means the parcel can collapse (cooling wins); the paper's halo only
+    crosses this threshold once enough H2 has formed.
+    """
+    n_tot = sum(n[s] for s in SPECIES_NAMES)
+    thermal = 1.5 * n_tot * const.BOLTZMANN_CONSTANT * np.asarray(T)
+    lam = np.maximum(net_cooling(n, T, z), 1e-300)
+    t_cool = thermal / lam
+    t_ff = np.sqrt(
+        3.0 * np.pi / (32.0 * const.GRAVITATIONAL_CONSTANT * np.maximum(rho_cgs, 1e-300))
+    )
+    return t_cool / t_ff

@@ -1,0 +1,56 @@
+"""Physical constants in cgs units.
+
+Values follow the conventions used in primordial-gas cosmology codes
+(Enzo / Abel et al. 1997).  Everything downstream of this module works in
+cgs internally and converts to/from comoving code units via
+:mod:`repro.cosmology.units`.
+"""
+
+from __future__ import annotations
+
+# --- fundamental constants (cgs) -------------------------------------------
+GRAVITATIONAL_CONSTANT = 6.6743e-8  # cm^3 g^-1 s^-2
+BOLTZMANN_CONSTANT = 1.380649e-16  # erg K^-1
+PLANCK_CONSTANT = 6.62607015e-27  # erg s
+SPEED_OF_LIGHT = 2.99792458e10  # cm s^-1
+ELECTRON_MASS = 9.1093837015e-28  # g
+PROTON_MASS = 1.67262192369e-24  # g
+HYDROGEN_MASS = 1.6735575e-24  # g (neutral H atom)
+THOMSON_CROSS_SECTION = 6.6524587321e-25  # cm^2
+STEFAN_BOLTZMANN = 5.670374419e-5  # erg cm^-2 s^-1 K^-4
+RADIATION_CONSTANT = 7.5657e-15  # erg cm^-3 K^-4
+ELECTRON_VOLT = 1.602176634e-12  # erg
+
+# --- astronomical scales ----------------------------------------------------
+PARSEC = 3.0856775814913673e18  # cm
+KILOPARSEC = 1e3 * PARSEC
+MEGAPARSEC = 1e6 * PARSEC
+ASTRONOMICAL_UNIT = 1.495978707e13  # cm
+SOLAR_MASS = 1.98892e33  # g
+SOLAR_RADIUS = 6.957e10  # cm
+YEAR = 3.1556952e7  # s (Julian year)
+MEGAYEAR = 1e6 * YEAR
+
+# --- cosmology --------------------------------------------------------------
+HUBBLE_CGS = 3.2407792896664e-18  # h * 100 km/s/Mpc expressed in s^-1
+CMB_TEMPERATURE_Z0 = 2.725  # K, present-day CMB temperature
+
+#: Critical density today divided by h^2, in g cm^-3:
+#: rho_crit = 3 H0^2 / (8 pi G)  with H0 = 100 h km/s/Mpc.
+CRITICAL_DENSITY_H2 = 3.0 * HUBBLE_CGS**2 / (8.0 * 3.141592653589793 * GRAVITATIONAL_CONSTANT)
+
+# --- primordial composition --------------------------------------------------
+#: Hydrogen mass fraction of the primordial gas (paper Sec. 2.2: ~76 % H, 24 % He).
+HYDROGEN_MASS_FRACTION = 0.76
+HELIUM_MASS_FRACTION = 0.24
+#: Primordial deuterium abundance by number relative to hydrogen.
+DEUTERIUM_TO_HYDROGEN = 3.4e-5
+
+#: Adiabatic index of a monatomic ideal gas.  Molecular corrections are applied
+#: explicitly where H2 matters.
+GAMMA = 5.0 / 3.0
+
+#: Mean molecular weight of neutral primordial gas (in units of m_H).
+MU_NEUTRAL = 1.0 / (HYDROGEN_MASS_FRACTION + HELIUM_MASS_FRACTION / 4.0)
+#: Mean molecular weight of fully ionized primordial gas.
+MU_IONIZED = 1.0 / (2.0 * HYDROGEN_MASS_FRACTION + 3.0 * HELIUM_MASS_FRACTION / 4.0)

@@ -1,0 +1,36 @@
+"""Cosmological background, units and initial conditions.
+
+Implements the "standard CDM" world model the paper simulates (Sec. 2.1):
+the Friedmann expansion a(t), the CDM power spectrum of density fluctuations
+P(k) with sigma_8 normalisation, Gaussian random field realisations, and
+Zel'dovich-approximation initial conditions for gas and dark matter —
+including the paper's nested static-subgrid ICs (64^3 root + 3 static levels
+equivalent to 512^3 over the box).
+"""
+
+from repro.cosmology.parameters import CosmologyParameters, STANDARD_CDM
+from repro.cosmology.friedmann import FriedmannSolver
+from repro.cosmology.units import CodeUnits
+from repro.cosmology.power_spectrum import PowerSpectrum, bbks_transfer, eisenstein_hu_transfer
+from repro.cosmology.gaussian_field import GaussianRandomField
+from repro.cosmology.zeldovich import ZeldovichIC, NestedGridIC
+from repro.cosmology.tophat import DELTA_COLLAPSE, VIRIAL_OVERDENSITY, collapse_redshift, virial_temperature
+from repro.cosmology.mass_function import PressSchechter
+
+__all__ = [
+    "CosmologyParameters",
+    "STANDARD_CDM",
+    "FriedmannSolver",
+    "CodeUnits",
+    "PowerSpectrum",
+    "bbks_transfer",
+    "eisenstein_hu_transfer",
+    "GaussianRandomField",
+    "ZeldovichIC",
+    "NestedGridIC",
+    "DELTA_COLLAPSE",
+    "VIRIAL_OVERDENSITY",
+    "collapse_redshift",
+    "virial_temperature",
+    "PressSchechter",
+]

@@ -1,0 +1,125 @@
+"""Periodic Gaussian random field realisations of P(k).
+
+Fourier conventions (documented because every IC bug ever is a convention
+bug): for a box of comoving volume V = L^3 sampled on n^3 cells of volume
+dV, the discrete modes are ``delta_hat = fftn(delta)`` (NumPy,
+unnormalised), and a field with target spectrum P(k) satisfies
+
+    < |delta_hat_k|^2 > = N * P(k) / dV,        N = n^3.
+
+A realisation is therefore ``fftn(white_noise) * sqrt(P(k)/dV)``, which is
+exactly hermitian by construction (FFT of a real field) — no half-plane
+bookkeeping needed.  The inverse estimator used by the tests is
+``P_measured(k) = |delta_hat|^2 * dV / N``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GaussianRandomField:
+    """A realisation of a 3-d periodic Gaussian density field.
+
+    Parameters
+    ----------
+    n:
+        Cells per dimension.
+    box_mpc_h:
+        Comoving box size in Mpc/h (the units P(k) is expressed in).
+    power:
+        Callable P(k) with k in h/Mpc returning (Mpc/h)^3.
+    seed:
+        RNG seed; fixed seeds give reproducible "universes".
+    """
+
+    def __init__(self, n: int, box_mpc_h: float, power, seed: int = 0):
+        if n < 2:
+            raise ValueError("need at least 2 cells per dimension")
+        self.n = int(n)
+        self.box = float(box_mpc_h)
+        self.power = power
+        self.seed = seed
+        self._build()
+
+    def _wavenumbers(self):
+        """Return (kx, ky, kz, |k|) arrays in h/Mpc on the FFT grid."""
+        k1 = 2.0 * np.pi * np.fft.fftfreq(self.n, d=self.box / self.n)
+        kx, ky, kz = np.meshgrid(k1, k1, k1, indexing="ij")
+        kk = np.sqrt(kx**2 + ky**2 + kz**2)
+        return kx, ky, kz, kk
+
+    def _build(self):
+        rng = np.random.default_rng(self.seed)
+        white = rng.standard_normal((self.n,) * 3)
+        dv = (self.box / self.n) ** 3
+        _, _, _, kk = self._wavenumbers()
+        amp = np.sqrt(np.maximum(self.power(kk), 0.0) / dv)
+        amp.flat[0] = 0.0  # zero mean
+        self.delta_hat = np.fft.fftn(white) * amp
+        self.delta = np.real(np.fft.ifftn(self.delta_hat))
+
+    def measured_power(self, nbins: int = 16):
+        """Binned power-spectrum estimate (k centres in h/Mpc, P in (Mpc/h)^3)."""
+        _, _, _, kk = self._wavenumbers()
+        p = np.abs(self.delta_hat) ** 2 * (self.box / self.n) ** 3 / self.n**3
+        k_flat, p_flat = kk.ravel(), p.ravel()
+        mask = k_flat > 0
+        k_flat, p_flat = k_flat[mask], p_flat[mask]
+        edges = np.logspace(np.log10(k_flat.min()), np.log10(k_flat.max()), nbins + 1)
+        idx = np.digitize(k_flat, edges) - 1
+        centres, means = [], []
+        for i in range(nbins):
+            sel = idx == i
+            if sel.sum() >= 8:
+                centres.append(np.exp(np.mean(np.log(k_flat[sel]))))
+                means.append(p_flat[sel].mean())
+        return np.array(centres), np.array(means)
+
+    def displacement(self) -> np.ndarray:
+        """Zel'dovich displacement field psi with psi_hat = i k / k^2 delta_hat.
+
+        Returns shape (3, n, n, n) in comoving Mpc/h (same length units as
+        the box), normalised so that x = q + D(a) * psi.
+        """
+        kx, ky, kz, kk = self._wavenumbers()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inv_k2 = np.where(kk > 0, 1.0 / kk**2, 0.0)
+        # The Nyquist planes are their own conjugate mirrors, so i*k*delta_hat
+        # is anti-hermitian there and taking the real part would inject a
+        # spurious, curl-carrying component.  Zero the potential on all
+        # Nyquist planes (standard practice in IC generators); the lost modes
+        # are the least-resolved ones anyway.
+        if self.n % 2 == 0:
+            nyq = self.n // 2
+            inv_k2 = inv_k2.copy()
+            inv_k2[nyq, :, :] = 0.0
+            inv_k2[:, nyq, :] = 0.0
+            inv_k2[:, :, nyq] = 0.0
+        psi = np.empty((3, self.n, self.n, self.n))
+        for axis, kvec in enumerate((kx, ky, kz)):
+            psi_hat = 1j * kvec * inv_k2 * self.delta_hat
+            psi[axis] = np.real(np.fft.ifftn(psi_hat))
+        return psi
+
+    def degraded(self, factor: int) -> np.ndarray:
+        """Volume-average the field down by an integer factor per dimension.
+
+        Used to build consistent multi-level nested initial conditions: the
+        coarse level sees exactly the mean of the fine-level modes it contains.
+        """
+        if self.n % factor != 0:
+            raise ValueError(f"{factor} does not divide n={self.n}")
+        m = self.n // factor
+        return (
+            self.delta.reshape(m, factor, m, factor, m, factor).mean(axis=(1, 3, 5))
+        )
+
+
+def degrade_field(field: np.ndarray, factor: int) -> np.ndarray:
+    """Volume-average any 3-d field down by an integer factor (free function)."""
+    n = field.shape[0]
+    if any(s != n for s in field.shape) or n % factor != 0:
+        raise ValueError("field must be cubic and divisible by factor")
+    m = n // factor
+    return field.reshape(m, factor, m, factor, m, factor).mean(axis=(1, 3, 5))

@@ -1,0 +1,72 @@
+"""Spherical top-hat collapse: the semi-analytic halo-formation model.
+
+The standard analytic companion to N-body/hydro structure formation: a
+uniform overdense sphere in an Einstein-de Sitter background follows the
+cycloid solution, turns around when its linear-theory overdensity reaches
+delta_lin ~ 1.062, and collapses at delta_c = 1.686 — the number the
+paper's "protogalactic halo ... at z ~ 20" timing rests on.  Used by the
+tests to validate when the simulation's first object should form, and by
+:func:`collapse_redshift` to predict it from a realisation's peak height.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Linear overdensity at collapse (EdS): 3/20 * (12 pi)^(2/3).
+DELTA_COLLAPSE = 3.0 / 20.0 * (12.0 * np.pi) ** (2.0 / 3.0)
+#: Linear overdensity at turnaround: 3/20 * (6 pi)^(2/3) * ... = 1.0624.
+DELTA_TURNAROUND = 3.0 / 20.0 * (6.0 * np.pi) ** (2.0 / 3.0)
+#: Virial overdensity relative to the mean at collapse (18 pi^2).
+VIRIAL_OVERDENSITY = 18.0 * np.pi**2
+
+
+def cycloid_radius(theta):
+    """Top-hat radius in units of r_max/2: r = (1 - cos theta)."""
+    return 1.0 - np.cos(np.asarray(theta, dtype=float))
+
+
+def cycloid_time(theta):
+    """Time in units of t_max/pi: t = (theta - sin theta)."""
+    th = np.asarray(theta, dtype=float)
+    return th - np.sin(th)
+
+
+def nonlinear_overdensity(theta):
+    """Exact 1+delta of the top hat vs development angle theta."""
+    th = np.asarray(theta, dtype=float)
+    return 9.0 * (th - np.sin(th)) ** 2 / (2.0 * (1.0 - np.cos(th)) ** 3)
+
+
+def linear_overdensity(theta):
+    """Linear-theory delta extrapolated to the same time."""
+    th = np.asarray(theta, dtype=float)
+    return 3.0 / 20.0 * (6.0 * (th - np.sin(th))) ** (2.0 / 3.0)
+
+
+def collapse_redshift(delta_lin_at_z: float, z: float) -> float:
+    """Redshift at which a peak of linear overdensity delta (at z) collapses.
+
+    EdS: delta grows as 1/(1+z), so collapse (delta_lin = 1.686) happens at
+    1 + z_c = (1 + z) * delta / delta_c.
+    """
+    if delta_lin_at_z <= 0:
+        return -1.0
+    return (1.0 + z) * delta_lin_at_z / DELTA_COLLAPSE - 1.0
+
+
+def peak_collapse_redshift(sigma: float, nu: float, z_of_sigma: float) -> float:
+    """Collapse redshift of a nu-sigma peak given sigma at z_of_sigma."""
+    return collapse_redshift(nu * sigma, z_of_sigma)
+
+
+def virial_temperature(mass_msun: float, z: float, hubble: float = 0.5,
+                       mu: float = 1.22) -> float:
+    """Virial temperature of a halo (K), the standard EdS scaling.
+
+    T_vir ~ 1.98e4 * (mu/0.6) * (M / 1e8 h^-1 Msun)^(2/3) * (1+z)/10 K —
+    for the paper's 5e5 Msun halo at z=19 this is a few hundred to ~1000 K,
+    which is why H2 (not atomic) cooling controls the collapse.
+    """
+    m8 = mass_msun * hubble / 1e8
+    return 1.98e4 * (mu / 0.6) * m8 ** (2.0 / 3.0) * (1.0 + z) / 10.0

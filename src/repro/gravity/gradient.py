@@ -1,0 +1,44 @@
+"""Finite-difference gradients and Laplacians for the gravity couplers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def laplacian(phi: np.ndarray, dx: float, periodic: bool = True) -> np.ndarray:
+    """7-point Laplacian.  Periodic wraps; otherwise the 1-cell rim is invalid."""
+    out = -6.0 * phi.copy()
+    if periodic:
+        for axis in range(3):
+            out += np.roll(phi, 1, axis=axis) + np.roll(phi, -1, axis=axis)
+    else:
+        out = np.zeros_like(phi)
+        core = (slice(1, -1),) * 3
+        out[core] = -6.0 * phi[core]
+        for axis in range(3):
+            lo = [slice(1, -1)] * 3
+            hi = [slice(1, -1)] * 3
+            lo[axis] = slice(0, -2)
+            hi[axis] = slice(2, None)
+            out[core] += phi[tuple(lo)] + phi[tuple(hi)]
+    return out / dx**2
+
+
+def acceleration_from_potential(
+    phi: np.ndarray, dx: float, a: float = 1.0, periodic: bool = True
+) -> np.ndarray:
+    """Peculiar acceleration g = -grad(phi) / a (code units).
+
+    Central differences; with ``periodic=False`` the 1-cell rim uses
+    one-sided differences (subgrid potentials carry ghost values, so the
+    rim never reaches the dynamics).
+    """
+    g = np.empty((3,) + phi.shape)
+    for axis in range(3):
+        if periodic:
+            g[axis] = -(np.roll(phi, -1, axis=axis) - np.roll(phi, 1, axis=axis)) / (
+                2.0 * dx * a
+            )
+        else:
+            g[axis] = -np.gradient(phi, dx, axis=axis) / a
+    return g

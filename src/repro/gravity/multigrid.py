@@ -1,0 +1,132 @@
+"""Multigrid relaxation for subgrid Poisson problems (Dirichlet boundaries).
+
+The paper: "On subgrids, we interpolate the gravitational potential field
+and then solve the Poisson equation using a traditional multi-grid
+relaxation technique."
+
+Geometric V-cycles with red-black Gauss–Seidel smoothing, full-weighting
+restriction and trilinear prolongation.  The solution array carries a
+one-cell Dirichlet rim holding the boundary values interpolated from the
+parent grid (and corrected by sibling exchange at the AMR layer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _redblack_smooth(phi: np.ndarray, source: np.ndarray, dx: float, sweeps: int) -> None:
+    """Red-black Gauss-Seidel on the interior of a rim-padded array."""
+    h2 = dx * dx
+    # checkerboard masks over the interior
+    shape = tuple(s - 2 for s in phi.shape)
+    idx = np.indices(shape).sum(axis=0)
+    red = (idx % 2) == 0
+    core = (slice(1, -1),) * 3
+    for _ in range(sweeps):
+        for mask in (red, ~red):
+            nb = (
+                phi[2:, 1:-1, 1:-1]
+                + phi[:-2, 1:-1, 1:-1]
+                + phi[1:-1, 2:, 1:-1]
+                + phi[1:-1, :-2, 1:-1]
+                + phi[1:-1, 1:-1, 2:]
+                + phi[1:-1, 1:-1, :-2]
+            )
+            new = (nb - h2 * source) / 6.0
+            interior = phi[core]
+            interior[mask] = new[mask]
+
+
+def _residual(phi: np.ndarray, source: np.ndarray, dx: float) -> np.ndarray:
+    """r = source - del^2 phi on the interior (same shape as source)."""
+    lap = (
+        phi[2:, 1:-1, 1:-1]
+        + phi[:-2, 1:-1, 1:-1]
+        + phi[1:-1, 2:, 1:-1]
+        + phi[1:-1, :-2, 1:-1]
+        + phi[1:-1, 1:-1, 2:]
+        + phi[1:-1, 1:-1, :-2]
+        - 6.0 * phi[1:-1, 1:-1, 1:-1]
+    ) / (dx * dx)
+    return source - lap
+
+
+def _restrict(fine: np.ndarray) -> np.ndarray:
+    """Average 2x2x2 blocks (dimensions assumed even)."""
+    s = fine.shape
+    return fine.reshape(s[0] // 2, 2, s[1] // 2, 2, s[2] // 2, 2).mean(axis=(1, 3, 5))
+
+
+def _prolong_into(coarse_err: np.ndarray, fine_shape) -> np.ndarray:
+    """Piecewise-constant prolongation of the coarse error (smoothing follows)."""
+    return np.repeat(np.repeat(np.repeat(coarse_err, 2, 0), 2, 1), 2, 2)[
+        : fine_shape[0], : fine_shape[1], : fine_shape[2]
+    ]
+
+
+class MultigridSolver:
+    """Reusable V-cycle solver for del^2 phi = source with a Dirichlet rim.
+
+    Parameters
+    ----------
+    pre_sweeps, post_sweeps:
+        Gauss-Seidel sweeps before/after coarse-grid correction.
+    tol:
+        Relative residual (L2, vs source L2) convergence target.
+    max_cycles:
+        V-cycle budget; small grids converge in a handful.
+    min_size:
+        Grids at or below this size are smoothed directly.
+    """
+
+    def __init__(self, pre_sweeps: int = 3, post_sweeps: int = 3, tol: float = 1e-8,
+                 max_cycles: int = 60, min_size: int = 4):
+        self.pre = pre_sweeps
+        self.post = post_sweeps
+        self.tol = tol
+        self.max_cycles = max_cycles
+        self.min_size = min_size
+        self.last_cycles = 0
+        self.last_residual = np.inf
+
+    def solve(self, source: np.ndarray, dx: float, boundary: np.ndarray) -> np.ndarray:
+        """Solve with the given rim-padded boundary/initial-guess array.
+
+        ``boundary`` has shape ``source.shape + 2`` in every dimension; its
+        rim cells are held fixed (Dirichlet) and its interior is the initial
+        guess.  Returns the rim-padded solution (a copy).
+        """
+        if boundary.shape != tuple(s + 2 for s in source.shape):
+            raise ValueError("boundary must pad source by one cell per side")
+        phi = boundary.astype(float).copy()
+        norm = float(np.sqrt((source**2).mean())) or 1.0
+        for cycle in range(1, self.max_cycles + 1):
+            self._vcycle(phi, source, dx)
+            res = float(np.sqrt((_residual(phi, source, dx) ** 2).mean()))
+            self.last_cycles = cycle
+            self.last_residual = res / norm
+            if res <= self.tol * norm:
+                break
+        return phi
+
+    def _vcycle(self, phi: np.ndarray, source: np.ndarray, dx: float) -> None:
+        shape = source.shape
+        if min(shape) <= self.min_size or any(s % 2 for s in shape):
+            _redblack_smooth(phi, source, dx, self.pre + self.post + 10)
+            return
+        _redblack_smooth(phi, source, dx, self.pre)
+        res = _residual(phi, source, dx)
+        coarse_src = _restrict(res)
+        coarse_phi = np.zeros(tuple(s + 2 for s in coarse_src.shape))
+        # recursively solve the error equation with homogeneous Dirichlet rim
+        self._vcycle(coarse_phi, coarse_src, 2.0 * dx)
+        err = _prolong_into(coarse_phi[1:-1, 1:-1, 1:-1], shape)
+        phi[1:-1, 1:-1, 1:-1] += err
+        _redblack_smooth(phi, source, dx, self.post)
+
+
+def solve_dirichlet(source: np.ndarray, dx: float, boundary: np.ndarray,
+                    tol: float = 1e-8) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`MultigridSolver`."""
+    return MultigridSolver(tol=tol).solve(source, dx, boundary)

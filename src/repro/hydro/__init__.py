@@ -1,0 +1,44 @@
+"""Euler solvers for the primordial gas (paper Sec. 3.2.1).
+
+Two independent schemes, exactly as the paper prescribes for
+cross-checking:
+
+* :class:`repro.hydro.ppm.PPMSolver` — the piecewise parabolic method
+  adapted for cosmological hydrodynamics (Bryan et al. 1995): dimensionally
+  split PPM reconstruction + HLLC Riemann fluxes in comoving coordinates,
+  with operator-split expansion source terms and a dual-energy formalism.
+* :class:`repro.hydro.zeus.ZeusSolver` — a "robust finite difference
+  technique" (Stone & Norman 1992 lineage): operator-split source step
+  (pressure gradient + von Neumann–Richtmyer artificial viscosity) and
+  van-Leer upwind transport step.
+
+Both advance the same field dictionary (see :mod:`repro.hydro.state`) and
+return time-integrated boundary fluxes for AMR flux correction.
+"""
+
+from repro.hydro.state import FieldSet, CONSERVED_FIELDS, make_fields, total_energy
+from repro.hydro.eos import pressure, sound_speed, internal_energy_floor
+from repro.hydro.reconstruction import plm_reconstruct, ppm_reconstruct
+from repro.hydro.riemann import hll_flux, hllc_flux, exact_riemann
+from repro.hydro.ppm import PPMSolver
+from repro.hydro.zeus import ZeusSolver
+from repro.hydro.timestep import hydro_timestep, expansion_timestep
+
+__all__ = [
+    "FieldSet",
+    "CONSERVED_FIELDS",
+    "make_fields",
+    "total_energy",
+    "pressure",
+    "sound_speed",
+    "internal_energy_floor",
+    "plm_reconstruct",
+    "ppm_reconstruct",
+    "hll_flux",
+    "hllc_flux",
+    "exact_riemann",
+    "PPMSolver",
+    "ZeusSolver",
+    "hydro_timestep",
+    "expansion_timestep",
+]

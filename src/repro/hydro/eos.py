@@ -1,0 +1,38 @@
+"""Ideal-gas equation of state for the primordial gas."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants as const
+
+
+def pressure(density, internal_energy, gamma: float = const.GAMMA) -> np.ndarray:
+    """Gas pressure p = (gamma - 1) rho e (code units: comoving pressure)."""
+    return (gamma - 1.0) * np.asarray(density) * np.asarray(internal_energy)
+
+
+def sound_speed(internal_energy, gamma: float = const.GAMMA) -> np.ndarray:
+    """Adiabatic sound speed c_s = sqrt(gamma (gamma-1) e)."""
+    return np.sqrt(gamma * (gamma - 1.0) * np.maximum(np.asarray(internal_energy), 0.0))
+
+
+def internal_energy_floor(fields, floor: float = 1e-30) -> None:
+    """Clamp internal (and rebuild total) energy above a positive floor."""
+    np.maximum(fields["internal"], floor, out=fields["internal"])
+    kinetic = 0.5 * (fields["vx"] ** 2 + fields["vy"] ** 2 + fields["vz"] ** 2)
+    np.maximum(fields["energy"], fields["internal"] + kinetic, out=fields["energy"])
+
+
+def effective_gamma(h2_fraction, temperature=None) -> np.ndarray:
+    """Effective adiabatic index of an H / H2 mixture.
+
+    Molecular hydrogen contributes rotational degrees of freedom once
+    excited (T >~ 100 K), pulling gamma from 5/3 toward 7/5.  A simple
+    mass-fraction interpolation is enough for the thermodynamics the paper
+    resolves (the fully molecular core forms at the very end).
+    """
+    x = np.clip(np.asarray(h2_fraction), 0.0, 1.0)
+    gamma_h2 = 7.0 / 5.0
+    inv = (1.0 - x) / (const.GAMMA - 1.0) + x / (gamma_h2 - 1.0)
+    return 1.0 + 1.0 / inv

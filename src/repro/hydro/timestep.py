@@ -1,0 +1,63 @@
+"""Timestep constraints (paper Sec. 3.1: per-level timesteps from the CFL).
+
+The comoving CFL condition with our variables: a signal crosses a cell of
+comoving width dx in code time a*dx / (|v| + c_s) (velocities are proper
+peculiar).  The expansion constraint bounds dt by a fraction of the Hubble
+time so the operator-split drag terms stay accurate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants as const
+from repro.hydro.eos import sound_speed
+from repro.hydro.state import FieldSet, VELOCITY_FIELDS
+
+
+def hydro_timestep(
+    fields: FieldSet,
+    dx: float,
+    a: float = 1.0,
+    cfl: float = 0.4,
+    gamma: float = const.GAMMA,
+    interior=None,
+) -> float:
+    """CFL-limited timestep for one grid (code time units)."""
+    cs = sound_speed(fields["internal"], gamma)
+    signal = cs.copy()
+    for name in VELOCITY_FIELDS:
+        signal = np.maximum(signal, np.abs(fields[name]) + cs)
+    if interior is not None:
+        signal = signal[interior]
+    vmax = float(signal.max())
+    if vmax <= 0.0:
+        return np.inf
+    return cfl * a * dx / vmax
+
+
+def expansion_timestep(a: float, adot: float, fraction: float = 0.02) -> float:
+    """dt <= fraction * (a / adot): bounds fractional expansion per step."""
+    if adot <= 0.0:
+        return np.inf
+    return fraction * a / adot
+
+
+def particle_timestep(velocities, dx: float, a: float, cfl: float = 0.4) -> float:
+    """No particle crosses more than cfl cells per step (comoving widths)."""
+    if velocities is None or len(velocities) == 0:
+        return np.inf
+    vmax = float(np.max(np.abs(velocities)))
+    if vmax <= 0.0:
+        return np.inf
+    return cfl * a * dx / vmax
+
+
+def accel_timestep(accel, dx: float, a: float, cfl: float = 0.3) -> float:
+    """dt <= sqrt(cfl * a * dx / |g|): resolves free-fall through a cell."""
+    if accel is None:
+        return np.inf
+    gmax = float(np.max(np.abs(accel)))
+    if gmax <= 0.0:
+        return np.inf
+    return np.sqrt(cfl * a * dx / gmax)

@@ -1,0 +1,12 @@
+"""Checkpoint / restart and data outputs.
+
+The paper's outputs were "in the 2-4 GB range" with "at least 50-100 GB
+disk storage" per run; analysis and visualisation read those dumps.  This
+package serialises the full hierarchy state (grids, fields, particles with
+their extended-precision positions, times) to a single compressed ``.npz``
+and restores it bit-exactly.
+"""
+
+from repro.io.checkpoint import save_hierarchy, load_hierarchy, checkpoint_info
+
+__all__ = ["save_hierarchy", "load_hierarchy", "checkpoint_info"]

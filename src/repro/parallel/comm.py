@@ -1,0 +1,143 @@
+"""The virtual cluster: ranks, clocks, and a latency/bandwidth wire model.
+
+A deterministic discrete-event model of a distributed-memory machine (the
+Blue Horizon SP2 stand-in).  Each rank has a simulated clock advanced by
+``compute`` (local work) and by waiting on receives.  A message posted at
+sender time t arrives at t + latency + size/bandwidth; a blocking receive
+advances the receiver's clock to the arrival time (accumulating *wait
+time*, the quantity the paper's pipelining optimisation attacks).  Probes
+cost a round trip — the cost sterile objects eliminate.
+
+Default wire parameters are of the order of the paper's era hardware
+(~20 us MPI latency, ~100 MB/s per-link bandwidth); every result consumed
+by the benchmarks is a *ratio*, so absolute values only set the scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.parallel.message import Message
+
+
+@dataclass
+class CommStats:
+    n_messages: int = 0
+    n_probes: int = 0
+    bytes_sent: int = 0
+    wait_time: float = 0.0
+    compute_time: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "messages": self.n_messages,
+            "probes": self.n_probes,
+            "bytes": self.bytes_sent,
+            "wait_time": self.wait_time,
+            "compute_time": self.compute_time,
+        }
+
+
+class VirtualCluster:
+    """Deterministic simulated message-passing machine."""
+
+    def __init__(self, n_ranks: int, latency: float = 2e-5,
+                 bandwidth: float = 1e8):
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.n_ranks = int(n_ranks)
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+        self.clocks = [0.0] * self.n_ranks
+        self.inbox: list[list[Message]] = [[] for _ in range(self.n_ranks)]
+        self.stats = CommStats()
+
+    # --------------------------------------------------------------- basics
+    def _check_rank(self, r: int) -> None:
+        if not 0 <= r < self.n_ranks:
+            raise ValueError(f"rank {r} out of range")
+
+    def compute(self, rank: int, seconds: float) -> None:
+        """Advance a rank's clock by local work."""
+        self._check_rank(rank)
+        self.clocks[rank] += float(seconds)
+        self.stats.compute_time += float(seconds)
+
+    def transfer_time(self, size_bytes: int) -> float:
+        return self.latency + size_bytes / self.bandwidth
+
+    # ------------------------------------------------------------ messaging
+    def isend(self, src: int, dst: int, size_bytes: int, tag: int = 0,
+              payload=None) -> Message:
+        """Non-blocking send: posts the message, sender pays a small
+        injection overhead (one latency's worth of packetisation)."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        post = self.clocks[src]
+        msg = Message(src, dst, tag, int(size_bytes), post,
+                      post + self.transfer_time(size_bytes), payload)
+        self.inbox[dst].append(msg)
+        self.clocks[src] += self.latency  # injection cost
+        self.stats.n_messages += 1
+        self.stats.bytes_sent += int(size_bytes)
+        return msg
+
+    def send(self, src: int, dst: int, size_bytes: int, tag: int = 0,
+             payload=None) -> Message:
+        """Blocking send: the sender also waits for the wire time."""
+        msg = self.isend(src, dst, size_bytes, tag, payload)
+        self.clocks[src] = max(self.clocks[src], msg.arrival_time)
+        return msg
+
+    def recv(self, dst: int, src: int | None = None, tag: int | None = None):
+        """Blocking receive of the earliest-arriving matching message.
+
+        Advances the receiver's clock to the arrival time; time spent
+        ahead of the receiver's current clock is accumulated as wait time.
+        """
+        self._check_rank(dst)
+        candidates = [
+            m for m in self.inbox[dst]
+            if not m.received
+            and (src is None or m.src == src)
+            and (tag is None or m.tag == tag)
+        ]
+        if not candidates:
+            raise LookupError(f"no matching message for rank {dst}")
+        msg = min(candidates, key=lambda m: m.arrival_time)
+        msg.received = True
+        wait = max(0.0, msg.arrival_time - self.clocks[dst])
+        self.stats.wait_time += wait
+        self.clocks[dst] = self.clocks[dst] + wait
+        return msg
+
+    def probe(self, asker: int, target: int) -> None:
+        """Query a remote rank for metadata: costs a round trip.
+
+        This is the operation the paper's sterile objects remove: without
+        a local replica of the hierarchy, each rank must ask every other
+        rank whether it owns a potential neighbour.
+        """
+        self._check_rank(asker)
+        self._check_rank(target)
+        rtt = 2.0 * self.latency
+        self.clocks[asker] += rtt
+        self.stats.n_probes += 1
+        self.stats.wait_time += rtt
+
+    # --------------------------------------------------------------- global
+    def barrier(self) -> None:
+        """Synchronise all clocks to the max (idle time counts as wait)."""
+        t = max(self.clocks)
+        for r in range(self.n_ranks):
+            self.stats.wait_time += t - self.clocks[r]
+            self.clocks[r] = t
+
+    @property
+    def makespan(self) -> float:
+        return max(self.clocks)
+
+    def reset(self) -> None:
+        self.clocks = [0.0] * self.n_ranks
+        self.inbox = [[] for _ in range(self.n_ranks)]
+        self.stats = CommStats()

@@ -1,0 +1,24 @@
+"""Message record for the virtual cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Message:
+    """One point-to-point transfer on the virtual machine.
+
+    ``post_time`` is the sender clock when the send was posted;
+    ``arrival_time`` when the payload is fully available at the receiver
+    (post + latency + size/bandwidth).
+    """
+
+    src: int
+    dst: int
+    tag: int
+    size_bytes: int
+    post_time: float
+    arrival_time: float
+    payload: object = None
+    received: bool = field(default=False, compare=False)

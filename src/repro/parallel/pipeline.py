@@ -1,0 +1,78 @@
+"""Pipelined two-phase communication (paper Sec. 3.4).
+
+"We optimize this by dividing each stage into two steps.  First, all of the
+data (such as boundary values) are processed and sent.  Since all
+processors have the location of all other grids locally (thanks to the
+sterile objects), we can order these sends such that the data that are
+required first are sent first.  Then, in the receive stage, the data needed
+immediately have had a chance to propagate across the network while the
+rest of the sends were initiated. ... resulted in a large decrease in wait
+times."
+
+Two executors over the same transfer list:
+
+* :func:`run_blocking_exchange` — the naive baseline: each transfer is a
+  blocking send immediately followed by the receiver blocking on it and
+  processing (serialising wire time into the critical path);
+* :func:`run_pipelined_exchange`  — all sends posted asynchronously first
+  (in need order), then receives drained in need order, so wire time
+  overlaps with the injection of later sends and with processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.comm import VirtualCluster
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One required boundary-data movement.
+
+    ``need_order`` ranks how soon the receiver needs it (smaller = sooner);
+    ``pack_time``/``process_time`` model the sender-side packing and
+    receiver-side unpacking work per message.
+    """
+
+    src: int
+    dst: int
+    size_bytes: int
+    need_order: int = 0
+    pack_time: float = 1e-6
+    process_time: float = 1e-6
+
+
+def run_blocking_exchange(cluster: VirtualCluster, transfers) -> float:
+    """Naive: pack, blocking-send, receive, process — one at a time."""
+    for i, t in enumerate(sorted(transfers, key=lambda t: t.need_order)):
+        if t.src == t.dst:
+            cluster.compute(t.src, t.pack_time + t.process_time)
+            continue
+        cluster.compute(t.src, t.pack_time)
+        cluster.send(t.src, t.dst, t.size_bytes, tag=i)
+        cluster.recv(t.dst, src=t.src, tag=i)
+        cluster.compute(t.dst, t.process_time)
+    cluster.barrier()
+    return cluster.makespan
+
+
+def run_pipelined_exchange(cluster: VirtualCluster, transfers) -> float:
+    """Two-phase: post all sends in need order, then drain receives."""
+    ordered = sorted(transfers, key=lambda t: t.need_order)
+    tags = {}
+    for i, t in enumerate(ordered):
+        if t.src == t.dst:
+            cluster.compute(t.src, t.pack_time)
+            continue
+        cluster.compute(t.src, t.pack_time)
+        cluster.isend(t.src, t.dst, t.size_bytes, tag=i)
+        tags[i] = t
+    for i, t in enumerate(ordered):
+        if t.src == t.dst:
+            cluster.compute(t.dst, t.process_time)
+            continue
+        cluster.recv(t.dst, src=t.src, tag=i)
+        cluster.compute(t.dst, t.process_time)
+    cluster.barrier()
+    return cluster.makespan

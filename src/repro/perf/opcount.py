@@ -1,0 +1,79 @@
+"""Per-module operation counting, live during a run.
+
+The paper: "One solution ... would be to instrument each module to return
+its operation count ... However, the code is nearly 100,000 lines, so this
+remains a future project."  Here the modules *are* instrumented: the
+recorder hooks the evolver's per-step callback and tallies the analytic
+per-module costs of the work actually performed, giving the live flop
+estimate the paper could only approximate from one timed section.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.perf.flops import OperationCounts, sustained_flop_rate
+
+
+class OperationRecorder:
+    """Stats-interface recorder accumulating per-module operation counts.
+
+    Plug into :class:`HierarchyEvolver` as ``stats`` (or inside a
+    :class:`MultiStats`); read ``counts`` / ``sustained_rate()`` afterwards.
+    """
+
+    def __init__(self, chemistry_substeps: int = 10):
+        self.counts = OperationCounts()
+        self.chemistry_substeps = int(chemistry_substeps)
+        self._t0 = time.perf_counter()
+        self.steps_recorded = 0
+
+    def record_step(self, hierarchy, level: int, dt: float, t: float) -> None:
+        cells = sum(g.n_cells for g in hierarchy.level_grids(level))
+        self.counts.add_hydro(cells)
+        self.counts.add_gravity(cells)
+        self.counts.add_boundary(cells)
+        self.counts.add_chemistry(cells, self.chemistry_substeps)
+        if len(hierarchy.particles):
+            owners = hierarchy.finest_level_of_particles()
+            self.counts.add_particles(int((owners == level).sum()))
+        self.steps_recorded += 1
+
+    def record_rebuild(self, hierarchy, level: int) -> None:
+        self.counts.add_rebuild(
+            sum(g.n_cells for g in hierarchy.all_grids())
+        )
+
+    @property
+    def wall_time(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def sustained_rate(self) -> float:
+        """Estimated flop/s over the recorder's lifetime (paper Sec. 5)."""
+        return sustained_flop_rate(self.counts.total, self.wall_time)
+
+    def report(self) -> str:
+        lines = [f"estimated operations: {self.counts.total:.3e}",
+                 f"wall time           : {self.wall_time:.2f} s",
+                 f"sustained rate      : {self.sustained_rate() / 1e6:.1f} Mflop/s"]
+        for name, frac in sorted(self.counts.fractions().items(),
+                                 key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<16s} {100 * frac:5.1f} %")
+        return "\n".join(lines)
+
+
+class MultiStats:
+    """Fan a single evolver stats slot out to several recorders."""
+
+    def __init__(self, *recorders):
+        self.recorders = list(recorders)
+
+    def record_step(self, hierarchy, level, dt, t) -> None:
+        for r in self.recorders:
+            if hasattr(r, "record_step"):
+                r.record_step(hierarchy, level, dt, t)
+
+    def record_rebuild(self, hierarchy, level) -> None:
+        for r in self.recorders:
+            if hasattr(r, "record_rebuild"):
+                r.record_rebuild(hierarchy, level)

@@ -1,0 +1,66 @@
+"""Per-component wall-clock accounting (the paper's Sec. 5 usage table)."""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+
+
+class ComponentTimers:
+    """Nested-safe section timers with fraction reporting.
+
+    Nested sections attribute time to the innermost section only (like the
+    paper's exclusive per-component fractions), so fractions sum to <= 1
+    with the remainder as "other overhead".
+    """
+
+    def __init__(self):
+        self.totals = defaultdict(float)
+        self.counts = defaultdict(int)
+        self._stack: list[tuple[str, float]] = []
+        self._t0 = time.perf_counter()
+
+    @contextmanager
+    def section(self, name: str):
+        now = time.perf_counter()
+        if self._stack:
+            # pause the enclosing section
+            parent, started = self._stack[-1]
+            self.totals[parent] += now - started
+        self._stack.append((name, now))
+        try:
+            yield
+        finally:
+            end = time.perf_counter()
+            name_, started = self._stack.pop()
+            self.totals[name_] += end - started
+            self.counts[name_] += 1
+            if self._stack:
+                parent, _ = self._stack[-1]
+                self._stack[-1] = (parent, end)
+
+    @property
+    def wall_time(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def fractions(self, include_other: bool = True) -> dict[str, float]:
+        """Fraction of total wall time per component (paper-table format)."""
+        wall = max(self.wall_time, 1e-12)
+        out = {k: v / wall for k, v in self.totals.items()}
+        if include_other:
+            out["other overhead"] = max(0.0, 1.0 - sum(out.values()))
+        return out
+
+    def report(self) -> str:
+        """Formatted like the paper's table."""
+        lines = ["component            usage"]
+        for name, frac in sorted(self.fractions().items(), key=lambda kv: -kv[1]):
+            lines.append(f"{name:<20s} {100 * frac:5.1f} %")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+        self._stack.clear()
+        self._t0 = time.perf_counter()

@@ -1,0 +1,13 @@
+"""Problem setups: the paper's primordial-collapse run and validation tests."""
+
+from repro.problems.shock_tube import SodShockTube
+from repro.problems.zeldovich_pancake import ZeldovichPancake
+from repro.problems.sphere_collapse import SphereCollapse
+from repro.problems.collapse import PrimordialCollapse
+
+__all__ = [
+    "SodShockTube",
+    "ZeldovichPancake",
+    "SphereCollapse",
+    "PrimordialCollapse",
+]

@@ -1,0 +1,83 @@
+"""Sod shock tube: the standard hydro validation problem.
+
+The paper implements two solvers precisely so any result can be
+cross-checked; this problem is the canonical cross-check, with the exact
+Riemann solution as ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hydro import PPMSolver, hydro_timestep
+from repro.hydro.riemann import exact_riemann
+from repro.hydro.state import fill_ghosts_outflow, make_fields
+
+
+class SodShockTube:
+    """1-d (in a thin 3-d box) Sod problem.
+
+    Parameters: resolution ``n``, adiabatic index, and the left/right
+    (rho, u, p) states (defaults are the classic Sod values).
+    """
+
+    def __init__(self, n: int = 128, gamma: float = 1.4,
+                 left=(1.0, 0.0, 1.0), right=(0.125, 0.0, 0.1),
+                 nghost: int = 3):
+        self.n = int(n)
+        self.gamma = float(gamma)
+        self.left = left
+        self.right = right
+        self.ng = nghost
+        self.fields = self._build()
+        self.time = 0.0
+        self.steps = 0
+
+    def _build(self):
+        ng, n = self.ng, self.n
+        shape = (n + 2 * ng, 1 + 2 * ng, 1 + 2 * ng)
+        f = make_fields(shape)
+        x = (np.arange(n + 2 * ng) - ng + 0.5) / n
+        is_left = x < 0.5
+        rho = np.where(is_left, self.left[0], self.right[0])
+        u = np.where(is_left, self.left[1], self.right[1])
+        p = np.where(is_left, self.left[2], self.right[2])
+        f["density"][:] = rho[:, None, None]
+        f["vx"][:] = u[:, None, None]
+        f["internal"][:] = (p / ((self.gamma - 1.0) * rho))[:, None, None]
+        f["energy"][:] = f["internal"] + 0.5 * f["vx"] ** 2
+        return f
+
+    def run(self, t_end: float = 0.2, solver=None, cfl: float = 0.4) -> dict:
+        """Advance to ``t_end``; returns the numerical and exact profiles."""
+        solver = solver or PPMSolver(gamma=self.gamma)
+        dx = 1.0 / self.n
+        while self.time < t_end:
+            fill_ghosts_outflow(self.fields, self.ng)
+            dt = min(
+                hydro_timestep(self.fields, dx, cfl=cfl, gamma=self.gamma),
+                t_end - self.time,
+            )
+            solver.step(self.fields, dx, dt, permute=self.steps)
+            self.time += dt
+            self.steps += 1
+        return self.profiles()
+
+    def profiles(self) -> dict:
+        sl = (slice(self.ng, -self.ng), self.ng, self.ng)
+        x = (np.arange(self.n) + 0.5) / self.n
+        rho = self.fields["density"][sl]
+        u = self.fields["vx"][sl]
+        e = self.fields["internal"][sl]
+        p = (self.gamma - 1.0) * rho * e
+        out = {"x": x, "density": rho, "velocity": u, "pressure": p}
+        if self.time > 0:
+            xi = (x - 0.5) / self.time
+            rho_ex, u_ex, p_ex = exact_riemann(self.left, self.right, self.gamma, xi)
+            out.update(density_exact=rho_ex, velocity_exact=u_ex, pressure_exact=p_ex)
+        return out
+
+    def l1_error(self) -> float:
+        p = self.profiles()
+        trim = self.n // 16
+        return float(np.abs(p["density"] - p["density_exact"])[trim:-trim].mean())

@@ -1,0 +1,136 @@
+"""Top-level Simulation facade.
+
+Wires a Hierarchy to its physics with one configuration object — the
+entry point the examples use.  For the paper's specific workload see
+:class:`repro.problems.collapse.PrimordialCollapse`, which layers the
+cosmological initial conditions on top of this machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amr import Hierarchy, HierarchyEvolver, RefinementCriteria
+from repro.amr.boundary import set_boundary_values
+from repro.amr.evolve import CosmologyClock, StaticClock
+from repro.amr.gravity import HierarchyGravity
+from repro.amr.rebuild import rebuild_hierarchy
+from repro.hydro import PPMSolver, ZeusSolver
+from repro.perf import ComponentTimers, HierarchyStats
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs for a generic AMR run."""
+
+    n_root: int = 16
+    max_level: int = 3
+    refine_factor: int = 2
+    solver: str = "ppm"  # or 'zeus'
+    cfl: float = 0.4
+    self_gravity: bool = False
+    g_code: float = 1.0
+    refine_overdensity: float | None = None
+    refine_gas_mass: float | None = None
+    jeans_number: float | None = None
+    advected: tuple = ()
+    max_grid_dims: int = 16
+
+
+class Simulation:
+    """A configured hierarchy + evolver with a small convenience API.
+
+    Typical use::
+
+        sim = Simulation(SimulationConfig(n_root=16, self_gravity=True,
+                                          refine_overdensity=4.0, max_level=3))
+        sim.set_density(lambda x, y, z: 1 + 10*np.exp(-((x-.5)**2+...)/0.01))
+        sim.initialize()
+        sim.run(t_end=0.5)
+    """
+
+    def __init__(self, config: SimulationConfig | None = None, units=None,
+                 friedmann=None):
+        self.config = config or SimulationConfig()
+        c = self.config
+        self.hierarchy = Hierarchy(
+            n_root=c.n_root, refine_factor=c.refine_factor, advected=c.advected
+        )
+        self.timers = ComponentTimers()
+        self.stats = HierarchyStats()
+        solver = PPMSolver() if c.solver == "ppm" else ZeusSolver()
+        clock = (
+            CosmologyClock(friedmann, units)
+            if (friedmann is not None and units is not None)
+            else StaticClock()
+        )
+        self.gravity = (
+            HierarchyGravity(g_code=c.g_code, mean_density=1.0)
+            if c.self_gravity
+            else None
+        )
+        self.criteria = None
+        if any(
+            v is not None
+            for v in (c.refine_overdensity, c.refine_gas_mass, c.jeans_number)
+        ):
+            self.criteria = RefinementCriteria(
+                gas_mass_threshold=c.refine_gas_mass,
+                jeans_number=c.jeans_number,
+                overdensity_threshold=c.refine_overdensity,
+                units=units,
+                max_level=c.max_level,
+            )
+        self.evolver = HierarchyEvolver(
+            self.hierarchy, solver, gravity=self.gravity, criteria=self.criteria,
+            clock=clock, units=units, cfl=c.cfl, max_level=c.max_level,
+            stats=self.stats, timers=self.timers,
+        )
+
+    # ----------------------------------------------------------------- setup
+    def set_density(self, fn) -> None:
+        """Set the root density from fn(x, y, z) on cell centres."""
+        root = self.hierarchy.root
+        x, y, z = np.meshgrid(*root.cell_centres(), indexing="ij")
+        root.fields["density"][root.interior] = fn(x, y, z)
+
+    def set_field(self, name: str, fn) -> None:
+        root = self.hierarchy.root
+        x, y, z = np.meshgrid(*root.cell_centres(), indexing="ij")
+        root.fields[name][root.interior] = fn(x, y, z)
+        if name in ("internal", "vx", "vy", "vz"):
+            from repro.hydro.state import total_energy
+
+            root.fields["energy"][root.interior] = total_energy(root.fields)[
+                root.interior
+            ]
+
+    def initialize(self) -> None:
+        """Fill ghosts, update gravity mean, build the initial hierarchy."""
+        set_boundary_values(self.hierarchy, 0)
+        if self.gravity is not None:
+            self.gravity.mean_density = float(
+                self.hierarchy.root.field_view("density").mean()
+            )
+        if self.criteria is not None:
+            rebuild_hierarchy(
+                self.hierarchy, 1, self.criteria,
+                self.evolver._dm_density, max_level=self.config.max_level,
+                max_dims=self.config.max_grid_dims,
+            )
+
+    # ------------------------------------------------------------------- run
+    def run(self, t_end: float) -> dict:
+        self.evolver.advance_to(t_end)
+        return self.summary()
+
+    def summary(self) -> dict:
+        return {
+            "time": float(self.hierarchy.root.time),
+            "max_level": self.hierarchy.max_level,
+            "n_grids": self.hierarchy.n_grids,
+            "sdr": self.hierarchy.spatial_dynamic_range(),
+            "component_fractions": self.timers.fractions(),
+        }

@@ -1,0 +1,187 @@
+"""Tests for Grid geometry and the Hierarchy container."""
+
+import numpy as np
+import pytest
+
+from repro.amr import Grid, Hierarchy
+from repro.precision.position import PositionDD
+
+
+class TestGridGeometry:
+    def test_root_grid(self):
+        g = Grid(0, (0, 0, 0), (8, 8, 8), n_root=8)
+        assert g.dx == 1.0 / 8
+        np.testing.assert_array_equal(g.left_edge, [0, 0, 0])
+        np.testing.assert_array_equal(g.right_edge, [1, 1, 1])
+
+    def test_subgrid_edges(self):
+        g = Grid(1, (4, 6, 8), (4, 4, 4), n_root=8)
+        assert g.dx == 1.0 / 16
+        np.testing.assert_array_equal(g.left_edge, [0.25, 0.375, 0.5])
+        np.testing.assert_array_equal(g.right_edge, [0.5, 0.625, 0.75])
+
+    def test_deep_level_dx_exact(self):
+        g = Grid(40, (0, 0, 0), (4, 4, 4), n_root=8)
+        # dyadic: dx exactly representable
+        assert g.dx == 2.0**-43
+
+    def test_deep_level_edges_exact(self):
+        # start index 3 * 2^38 at level 40: edge = 3 * 2^38 / 2^43 = 3/32
+        g = Grid(40, (3 * 2**38, 0, 0), (4, 4, 4), n_root=8)
+        assert g.left_edge[0] == 3.0 / 32.0
+
+    def test_left_edge_dd(self):
+        g = Grid(2, (5, 0, 0), (4, 4, 4), n_root=8)
+        dd = g.left_edge_dd
+        assert isinstance(dd, PositionDD)
+        assert dd.hi[0] == 5.0 / 32.0
+
+    def test_shapes(self):
+        g = Grid(0, (0, 0, 0), (8, 6, 4), n_root=8, nghost=3)
+        assert g.shape_with_ghosts == (14, 12, 10)
+        assert g.n_cells == 8 * 6 * 4
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Grid(0, (0, 0, 0), (0, 4, 4), n_root=8)
+
+    def test_cell_centres(self):
+        g = Grid(1, (4, 4, 4), (2, 2, 2), n_root=4)
+        cx = g.cell_centres()[0]
+        np.testing.assert_allclose(cx, [(4.5) / 8, (5.5) / 8])
+
+    def test_overlap(self):
+        a = Grid(1, (0, 0, 0), (8, 8, 8), n_root=8)
+        b = Grid(1, (4, 4, 4), (8, 8, 8), n_root=8)
+        lo, hi = a.overlap_with(b)
+        np.testing.assert_array_equal(lo, [4, 4, 4])
+        np.testing.assert_array_equal(hi, [8, 8, 8])
+
+    def test_no_overlap(self):
+        a = Grid(1, (0, 0, 0), (4, 4, 4), n_root=8)
+        b = Grid(1, (4, 4, 4), (4, 4, 4), n_root=8)
+        assert a.overlap_with(b) is None
+
+    def test_ghost_overlap_detects_adjacency(self):
+        a = Grid(1, (0, 0, 0), (4, 4, 4), n_root=8, nghost=3)
+        b = Grid(1, (4, 0, 0), (4, 4, 4), n_root=8, nghost=3)
+        assert a.ghost_overlap_with(b) is not None
+
+    def test_overlap_level_mismatch(self):
+        a = Grid(0, (0, 0, 0), (8, 8, 8), n_root=8)
+        b = Grid(1, (0, 0, 0), (8, 8, 8), n_root=8)
+        with pytest.raises(ValueError):
+            a.overlap_with(b)
+
+    def test_nesting(self):
+        parent = Grid(0, (0, 0, 0), (8, 8, 8), n_root=8)
+        child = Grid(1, (4, 4, 4), (4, 4, 4), n_root=8)
+        assert child.is_nested_in(parent)
+        stray = Grid(1, (14, 14, 14), (4, 4, 4), n_root=8)
+        assert not stray.is_nested_in(parent)
+
+    def test_parent_index_region(self):
+        child = Grid(1, (4, 6, 8), (4, 2, 2), n_root=8)
+        lo, hi = child.parent_index_region()
+        np.testing.assert_array_equal(lo, [2, 3, 4])
+        np.testing.assert_array_equal(hi, [4, 4, 5])
+
+    def test_contains_point(self):
+        g = Grid(1, (4, 4, 4), (4, 4, 4), n_root=8)
+        assert g.contains_point([0.3, 0.3, 0.3])[0]
+        assert not g.contains_point([0.1, 0.3, 0.3])[0]
+
+    def test_allocate_and_views(self):
+        g = Grid(0, (0, 0, 0), (4, 4, 4), n_root=4)
+        g.allocate(advected=["HI"])
+        assert g.fields["density"].shape == g.shape_with_ghosts
+        assert g.field_view("density").shape == (4, 4, 4)
+        assert "HI" in g.fields
+        assert g.memory_bytes() > 0
+
+    def test_save_old_state(self):
+        g = Grid(0, (0, 0, 0), (4, 4, 4), n_root=4)
+        g.allocate()
+        g.fields["density"][:] = 2.0
+        g.save_old_state()
+        g.fields["density"][:] = 3.0
+        assert np.all(g.old_fields["density"] == 2.0)
+
+
+class TestHierarchy:
+    def _two_level(self):
+        h = Hierarchy(n_root=8)
+        child = Grid(1, (4, 4, 4), (8, 8, 8), n_root=8)
+        h.add_grid(child, h.root)
+        return h, child
+
+    def test_root_setup(self):
+        h = Hierarchy(n_root=8)
+        assert h.max_level == 0
+        assert h.n_grids == 1
+        assert h.root.fields is not None
+
+    def test_add_grid(self):
+        h, child = self._two_level()
+        assert h.max_level == 1
+        assert child.parent is h.root
+        assert child in h.root.children
+        assert h.validate_nesting()
+
+    def test_add_rejects_non_nested(self):
+        h = Hierarchy(n_root=8)
+        bad = Grid(1, (12, 12, 12), (8, 8, 8), n_root=8)
+        with pytest.raises(ValueError):
+            h.add_grid(bad, h.root)
+
+    def test_remove_level_grids(self):
+        h, child = self._two_level()
+        g2 = Grid(2, (10, 10, 10), (4, 4, 4), n_root=8)
+        h.add_grid(g2, child)
+        h.remove_level_grids(1)
+        assert h.max_level == 0
+        assert h.root.children == []
+        assert h.grids_destroyed == 2
+
+    def test_siblings(self):
+        h = Hierarchy(n_root=8)
+        a = Grid(1, (0, 0, 0), (4, 4, 4), n_root=8)
+        b = Grid(1, (4, 0, 0), (4, 4, 4), n_root=8)
+        c = Grid(1, (12, 12, 12), (4, 4, 4), n_root=8)
+        for g in (a, b, c):
+            h.add_grid(g, h.root)
+        sibs = h.siblings(a)
+        assert b in sibs and c not in sibs
+
+    def test_finest_grid_at(self):
+        h, child = self._two_level()
+        assert h.finest_grid_at([0.5, 0.5, 0.5]) is child
+        assert h.finest_grid_at([0.1, 0.1, 0.1]) is h.root
+
+    def test_finest_level_of_particles(self):
+        from repro.nbody.particles import ParticleSet
+
+        h, child = self._two_level()
+        h.particles = ParticleSet(
+            PositionDD(np.array([[0.5, 0.5, 0.5], [0.1, 0.1, 0.1]])),
+            np.zeros((2, 3)),
+            np.ones(2),
+        )
+        lv = h.finest_level_of_particles()
+        np.testing.assert_array_equal(lv, [1, 0])
+
+    def test_covering_mask(self):
+        h, child = self._two_level()
+        mask = h.covering_mask(h.root)
+        assert mask.shape == (8, 8, 8)
+        assert mask[3, 3, 3] and mask[2, 2, 2]
+        assert not mask[0, 0, 0]
+        assert mask.sum() == 4**3
+
+    def test_sdr(self):
+        h, _ = self._two_level()
+        assert h.spatial_dynamic_range() == 16.0
+
+    def test_grid_counters(self):
+        h, _ = self._two_level()
+        assert h.grids_created == 2

@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.amr" in out
+        assert "SC2001" in out
+
+    def test_sod(self, capsys):
+        assert main(["sod", "-n", "48"]) == 0
+        assert "L1(density)" in capsys.readouterr().out
+
+    def test_pancake(self, capsys):
+        assert main(["pancake", "-n", "8", "--z-end", "20"]) == 0
+        assert "pancake" in capsys.readouterr().out
+
+    def test_collapse_quick(self, capsys):
+        rc = main(["collapse", "-n", "8", "--levels", "1", "--z-end", "95",
+                   "--max-steps", "8", "--no-chemistry"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "peak n" in out
+
+    def test_collapse_with_checkpoint_and_inspect(self, tmp_path, capsys):
+        ck = str(tmp_path / "state.npz")
+        assert main(["collapse", "-n", "8", "--levels", "1", "--z-end", "97",
+                     "--max-steps", "4", "--no-chemistry",
+                     "--checkpoint", ck]) == 0
+        capsys.readouterr()
+        assert main(["inspect", ck]) == 0
+        out = capsys.readouterr().out
+        assert "n_grids" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,105 @@
+"""Tests for the Friedmann background solver."""
+
+import numpy as np
+import pytest
+
+from repro import constants as const
+from repro.cosmology import CosmologyParameters, FriedmannSolver, STANDARD_CDM
+
+
+@pytest.fixture(scope="module")
+def eds():
+    return FriedmannSolver(STANDARD_CDM)
+
+
+@pytest.fixture(scope="module")
+def lcdm():
+    return FriedmannSolver(
+        CosmologyParameters(omega_matter=0.3, omega_lambda=0.7, omega_baryon=0.045, hubble=0.7)
+    )
+
+
+class TestEinsteinDeSitter:
+    def test_age_today(self, eds):
+        # EdS: t0 = 2/(3 H0); h=0.5 -> H0 = 50 km/s/Mpc -> t0 ~ 13.04 Gyr
+        t0 = eds.age_today()
+        expected = 2.0 / (3.0 * STANDARD_CDM.h0_cgs)
+        assert abs(t0 - expected) / expected < 1e-12
+
+    def test_a_t_roundtrip(self, eds):
+        a = np.array([1e-3, 0.01, 0.1, 0.5, 1.0])
+        t = eds.time_of_a(a)
+        back = eds.a_of_time(t)
+        np.testing.assert_allclose(back, a, rtol=1e-12)
+
+    def test_power_law(self, eds):
+        # a ~ t^(2/3): doubling t multiplies a by 2^(2/3)
+        t = eds.time_of_a(0.01)
+        ratio = eds.a_of_time(2 * t) / eds.a_of_time(t)
+        assert abs(ratio - 2 ** (2.0 / 3.0)) < 1e-12
+
+    def test_hubble_scaling(self, eds):
+        # H ~ a^{-3/2} in EdS
+        assert np.isclose(eds.hubble(0.25) / eds.hubble(1.0), 8.0)
+
+    def test_growth_factor_is_a(self, eds):
+        a = np.linspace(0.001, 1.0, 10)
+        np.testing.assert_allclose(eds.growth_factor(a), a, rtol=1e-12)
+
+    def test_growth_rate_unity(self, eds):
+        assert np.allclose(eds.growth_rate(np.array([0.01, 0.5])), 1.0)
+
+    def test_paper_epoch(self, eds):
+        # paper: z~20 is "approximately 150 million years after the big bang"
+        t_z20 = float(eds.time_of_z(20.0)) / const.MEGAYEAR
+        assert 100 < t_z20 < 200
+
+    def test_few_million_years_start(self, eds):
+        # "a few million years after the big bang" for z ~ 100
+        t = float(eds.time_of_z(100.0)) / const.MEGAYEAR
+        assert 5 < t < 20
+
+
+class TestGeneralModel:
+    def test_a_t_roundtrip(self, lcdm):
+        a = np.array([1e-3, 0.01, 0.1, 0.5, 1.0])
+        np.testing.assert_allclose(lcdm.a_of_time(lcdm.time_of_a(a)), a, rtol=1e-6)
+
+    def test_age_exceeds_eds(self, lcdm):
+        # Lambda makes the universe older at fixed H0
+        eds_same_h = FriedmannSolver(
+            CosmologyParameters(omega_matter=1.0, omega_lambda=0.0, omega_baryon=0.045, hubble=0.7)
+        )
+        assert lcdm.age_today() > eds_same_h.age_today()
+
+    def test_growth_normalised(self, lcdm):
+        assert abs(float(lcdm.growth_factor(1.0)) - 1.0) < 1e-10
+
+    def test_growth_suppressed_late(self, lcdm):
+        # Lambda suppresses growth: D(a)/a falls below 1 approaching a=1
+        assert float(lcdm.growth_factor(1.0)) / 1.0 < float(lcdm.growth_factor(0.05)) / 0.05
+
+    def test_growth_matches_eds_early(self, lcdm):
+        # at high z, any model is matter dominated: D ~ a up to normalisation
+        d1 = float(lcdm.growth_factor(0.002))
+        d2 = float(lcdm.growth_factor(0.004))
+        assert abs(d2 / d1 - 2.0) < 0.01
+
+    def test_growth_rate_below_one(self, lcdm):
+        assert float(lcdm.growth_rate(1.0)) < 1.0
+
+    def test_hubble_today(self, lcdm):
+        assert np.isclose(float(lcdm.hubble(1.0)), lcdm.params.h0_cgs)
+
+
+def test_redshift_scale_factor_inverse():
+    z = np.array([0.0, 1.0, 9.0, 99.0])
+    a = FriedmannSolver.scale_factor(z)
+    np.testing.assert_allclose(FriedmannSolver.redshift(a), z)
+
+
+def test_addot_sign():
+    eds = FriedmannSolver(STANDARD_CDM)
+    assert float(eds.addot(0.5)) < 0  # decelerating
+    lam = FriedmannSolver(CosmologyParameters(omega_matter=0.3, omega_lambda=0.7, omega_baryon=0.04, hubble=0.7))
+    assert float(lam.addot(1.0)) > 0  # accelerating today

@@ -1,0 +1,158 @@
+"""Tests for Zel'dovich and nested-grid initial conditions."""
+
+import numpy as np
+import pytest
+
+from repro import constants as const
+from repro.cosmology import CodeUnits, NestedGridIC, STANDARD_CDM, ZeldovichIC
+
+
+@pytest.fixture(scope="module")
+def units():
+    return CodeUnits.for_cosmology(STANDARD_CDM, 256.0, 100.0)
+
+
+@pytest.fixture(scope="module")
+def ic(units):
+    return ZeldovichIC(STANDARD_CDM, units, z_init=100.0, n=16, seed=1)
+
+
+class TestZeldovichGas:
+    def test_mean_density_is_baryon_fraction(self, ic):
+        gas = ic.gas()
+        target = STANDARD_CDM.omega_baryon / STANDARD_CDM.omega_matter
+        assert abs(gas.density.mean() - target) / target < 0.02
+
+    def test_density_positive(self, ic):
+        assert np.all(ic.gas().density > 0)
+
+    def test_velocity_shape_and_magnitude(self, ic, units):
+        gas = ic.gas()
+        assert gas.velocity.shape == (3, 16, 16, 16)
+        # peculiar velocities at z=100 in a 256 kpc box: small but nonzero;
+        # sanity: proper peculiar velocity below 100 km/s
+        v_proper_cms = np.abs(gas.velocity).max() * units.velocity_unit
+        assert 0 < v_proper_cms < 1e7
+
+    def test_energy_matches_temperature(self, ic, units):
+        gas = ic.gas()
+        t = units.temperature_from_energy(
+            gas.energy[0, 0, 0], const.MU_NEUTRAL, units.a_initial
+        )
+        assert np.isclose(float(t), ic.temperature_init, rtol=1e-10)
+
+    def test_default_temperature_adiabatic(self, ic):
+        # z=100 < z_dec=137: T = 2.725 * 101^2 / 138 ~ 200 K
+        assert 100 < ic.temperature_init < 300
+
+
+class TestZeldovichParticles:
+    def test_particle_count(self, ic):
+        p = ic.particles()
+        assert p.positions.hi.shape == (16**3, 3)
+        assert p.velocities.shape == (16**3, 3)
+
+    def test_total_mass_is_cdm_fraction(self, ic):
+        p = ic.particles()
+        target = STANDARD_CDM.omega_cdm / STANDARD_CDM.omega_matter
+        assert np.isclose(p.masses.sum(), target, rtol=1e-12)
+
+    def test_positions_in_box(self, ic):
+        p = ic.particles()
+        assert np.all(p.positions.hi >= -1e-12)
+        assert np.all(p.positions.hi < 1.0 + 1e-12)
+
+    def test_displacements_small_at_high_z(self, ic):
+        p = ic.particles()
+        n = 16
+        q1 = (np.arange(n) + 0.5) / n
+        qx, qy, qz = np.meshgrid(q1, q1, q1, indexing="ij")
+        q = np.stack([qx, qy, qz], axis=-1).reshape(-1, 3)
+        disp = p.positions.hi - q
+        disp -= np.round(disp)  # unwrap periodic
+        assert np.abs(disp).max() < 0.5 / n  # far less than a cell at z=100
+
+    def test_momentum_near_zero(self, ic):
+        p = ic.particles()
+        mom = (p.velocities * p.masses[:, None]).sum(axis=0)
+        scale = np.abs(p.velocities).max() * p.masses.sum()
+        assert np.all(np.abs(mom) < 1e-10 * max(scale, 1e-30) + 1e-15)
+
+
+class TestNestedGridIC:
+    @pytest.fixture(scope="class")
+    def nested(self, units):
+        return NestedGridIC(
+            STANDARD_CDM,
+            units,
+            z_init=100.0,
+            n_root=8,
+            static_levels=2,
+            region_left=(0.25, 0.25, 0.25),
+            region_right=(0.75, 0.75, 0.75),
+            seed=2,
+        )
+
+    def test_level_count(self, nested):
+        fields = nested.level_fields()
+        assert len(fields) == 3
+
+    def test_level_shapes(self, nested):
+        fields = nested.level_fields()
+        assert fields[0].density.shape == (8, 8, 8)
+        assert fields[1].density.shape == (8, 8, 8)  # half the box at 2x res
+        assert fields[2].density.shape == (16, 16, 16)
+
+    def test_levels_consistent_under_averaging(self, nested):
+        """Coarse level must equal the volume average of the finer level."""
+        from repro.cosmology.gaussian_field import degrade_field
+
+        fields = nested.level_fields()
+        lvl1, lvl2 = fields[1], fields[2]
+        avg = degrade_field(lvl2.density, 2)
+        np.testing.assert_allclose(avg, lvl1.density, rtol=1e-12)
+
+    def test_root_consistent_with_level1(self, nested):
+        from repro.cosmology.gaussian_field import degrade_field
+
+        fields = nested.level_fields()
+        root_region = fields[0].density[2:6, 2:6, 2:6]
+        avg = degrade_field(fields[1].density, 2)
+        np.testing.assert_allclose(avg, root_region, rtol=1e-12)
+
+    def test_region_edges(self, nested):
+        fields = nested.level_fields()
+        np.testing.assert_allclose(fields[1].left_edge, [0.25] * 3)
+        np.testing.assert_allclose(fields[1].right_edge, [0.75] * 3)
+
+    def test_particle_mass_ratio(self, nested):
+        """Mass resolution boost in the refined region: r^(3*levels) = 64."""
+        p = nested.particles()
+        m_min, m_max = p.masses.min(), p.masses.max()
+        assert np.isclose(m_max / m_min, 64.0, rtol=1e-10)
+
+    def test_particle_total_mass_conserved(self, nested):
+        p = nested.particles()
+        target = STANDARD_CDM.omega_cdm / STANDARD_CDM.omega_matter
+        assert np.isclose(p.masses.sum(), target, rtol=1e-10)
+
+    def test_fine_particles_inside_region(self, nested):
+        p = nested.particles()
+        fine = p.masses == p.masses.min()
+        pos = p.positions.hi[fine]
+        # displaced positions can stray slightly past the region edge
+        assert np.all(pos > 0.25 - 0.1)
+        assert np.all(pos < 0.75 + 0.1)
+
+    def test_too_large_fine_grid_rejected(self, units):
+        with pytest.raises(ValueError):
+            NestedGridIC(STANDARD_CDM, units, 100.0, n_root=256, static_levels=2)
+
+    def test_paper_factor_512(self, units):
+        """Paper: 3 static levels boost mass resolution by 512."""
+        nested = NestedGridIC(
+            STANDARD_CDM, units, 100.0, n_root=4, static_levels=3, seed=3,
+            region_left=(0.25, 0.25, 0.25), region_right=(0.75, 0.75, 0.75),
+        )
+        p = nested.particles()
+        assert np.isclose(p.masses.max() / p.masses.min(), 512.0, rtol=1e-10)

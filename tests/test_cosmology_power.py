@@ -1,0 +1,202 @@
+"""Tests for the power spectrum, Gaussian fields and units."""
+
+import numpy as np
+import pytest
+
+from repro import constants as const
+from repro.cosmology import (
+    CodeUnits,
+    CosmologyParameters,
+    GaussianRandomField,
+    PowerSpectrum,
+    STANDARD_CDM,
+    bbks_transfer,
+    eisenstein_hu_transfer,
+)
+from repro.cosmology.gaussian_field import degrade_field
+
+
+@pytest.fixture(scope="module")
+def pk():
+    return PowerSpectrum(STANDARD_CDM)
+
+
+class TestTransferFunctions:
+    def test_bbks_large_scale_limit(self):
+        assert abs(bbks_transfer(np.array([1e-6]), 0.5)[0] - 1.0) < 1e-3
+
+    def test_bbks_small_scale_suppression(self):
+        t = bbks_transfer(np.array([0.1, 1.0, 10.0, 100.0]), 0.5)
+        assert np.all(np.diff(t) < 0)
+        assert t[-1] < 1e-3
+
+    def test_eh_large_scale_limit(self):
+        t = eisenstein_hu_transfer(np.array([1e-6]), 1.0, 0.06, 0.5)
+        assert abs(t[0] - 1.0) < 1e-2
+
+    def test_eh_vs_bbks_same_ballpark(self):
+        k = np.logspace(-2, 1, 20)
+        t1 = bbks_transfer(k, 0.5)
+        t2 = eisenstein_hu_transfer(k, 1.0, 0.06, 0.5)
+        ratio = t1 / t2
+        assert np.all((ratio > 0.4) & (ratio < 2.5))
+
+
+class TestPowerSpectrum:
+    def test_sigma8_normalisation(self, pk):
+        assert abs(pk.sigma_r(8.0) - STANDARD_CDM.sigma8) < 1e-6
+
+    def test_zero_k(self, pk):
+        assert pk(0.0) == 0.0
+
+    def test_positive(self, pk):
+        k = np.logspace(-4, 3, 50)
+        assert np.all(pk(k) > 0)
+
+    def test_growth_scaling(self, pk):
+        # EdS: P(k, z) = P(k,0) / (1+z)^2
+        k = 1.0
+        assert np.isclose(pk.at_redshift(k, 99.0), pk(k) / 100.0**2, rtol=1e-10)
+
+    def test_sigma_mass_monotone_decreasing(self, pk):
+        # bottom-up structure formation: small masses collapse first
+        masses = [1e5, 1e7, 1e9, 1e12, 1e15]
+        sig = [pk.sigma_mass(m) for m in masses]
+        assert all(a > b for a, b in zip(sig, sig[1:]))
+
+    def test_small_scale_log_divergence(self, pk):
+        # paper: "rms density fluctuations are logarithmically divergent on
+        # small mass scales" — sigma keeps growing to tiny masses but slowly
+        s1 = pk.sigma_mass(1e4)
+        s2 = pk.sigma_mass(1e6)
+        assert s1 > s2
+        assert s1 / s2 < 2.0  # logarithmic, not power-law, growth
+
+    def test_protogalactic_scale_collapses_at_z20(self, pk):
+        # the paper's halo: few x 1e5 Msun becomes nonlinear around z~20-30
+        sigma = pk.sigma_mass(5e5, z=20.0)
+        # within a factor ~3 of the delta_c=1.69 collapse threshold for a
+        # 2-3 sigma peak: 1.69/3 ~ 0.56 ... 1.69
+        assert 0.1 < sigma < 2.0
+
+    def test_unknown_transfer_raises(self):
+        with pytest.raises(ValueError):
+            PowerSpectrum(STANDARD_CDM, transfer="nope")
+
+
+class TestGaussianField:
+    def test_zero_mean(self):
+        f = GaussianRandomField(16, 1.0, lambda k: np.where(k > 0, k ** -1.0, 0.0), seed=1)
+        assert abs(f.delta.mean()) < 1e-12
+
+    def test_reproducible_seed(self):
+        p = lambda k: np.where(k > 0, 1.0, 0.0)
+        a = GaussianRandomField(8, 1.0, p, seed=5).delta
+        b = GaussianRandomField(8, 1.0, p, seed=5).delta
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        p = lambda k: np.where(k > 0, 1.0, 0.0)
+        a = GaussianRandomField(8, 1.0, p, seed=1).delta
+        b = GaussianRandomField(8, 1.0, p, seed=2).delta
+        assert not np.allclose(a, b)
+
+    def test_measured_power_matches_input(self):
+        # white-noise spectrum: P = const; estimator must recover it closely
+        target = 2.5
+        f = GaussianRandomField(32, 10.0, lambda k: np.full_like(k, target), seed=3)
+        k, p = f.measured_power(nbins=8)
+        assert np.all(np.abs(p / target - 1.0) < 0.35)
+
+    def test_power_law_spectrum_slope(self):
+        f = GaussianRandomField(32, 10.0, lambda k: np.where(k > 0, k**-2.0, 0.0), seed=4)
+        k, p = f.measured_power(nbins=8)
+        slope = np.polyfit(np.log(k), np.log(p), 1)[0]
+        assert abs(slope + 2.0) < 0.3
+
+    def test_displacement_is_real_and_divergence_free_check(self):
+        f = GaussianRandomField(16, 1.0, lambda k: np.where(k > 0, k**-2, 0.0), seed=6)
+        psi = f.displacement()
+        assert psi.shape == (3, 16, 16, 16)
+        assert np.all(np.isfinite(psi))
+        # Zel'dovich displacement is curl-free: checking one component of
+        # curl via spectral derivative should vanish to fft precision
+        k1 = 2 * np.pi * np.fft.fftfreq(16, d=1.0 / 16)
+        kx, ky, _ = np.meshgrid(k1, k1, k1, indexing="ij")
+        curl_z = np.fft.ifftn(
+            1j * kx * np.fft.fftn(psi[1]) - 1j * ky * np.fft.fftn(psi[0])
+        )
+        assert np.max(np.abs(curl_z)) < 1e-10 * max(np.max(np.abs(psi)), 1e-30)
+
+    def test_degrade_preserves_mean(self):
+        f = GaussianRandomField(16, 1.0, lambda k: np.where(k > 0, 1.0, 0.0), seed=7)
+        coarse = f.degraded(4)
+        assert coarse.shape == (4, 4, 4)
+        assert abs(coarse.mean() - f.delta.mean()) < 1e-14
+
+    def test_degrade_field_validation(self):
+        with pytest.raises(ValueError):
+            degrade_field(np.zeros((8, 8, 4)), 2)
+        with pytest.raises(ValueError):
+            degrade_field(np.zeros((9, 9, 9)), 2)
+
+    def test_min_size_validation(self):
+        with pytest.raises(ValueError):
+            GaussianRandomField(1, 1.0, lambda k: k)
+
+
+class TestCodeUnits:
+    def test_paper_box(self):
+        u = CodeUnits.for_cosmology(STANDARD_CDM, 256.0, 100.0)
+        assert np.isclose(u.length_unit, 256.0 * const.KILOPARSEC)
+        assert u.a_initial == pytest.approx(1.0 / 101.0)
+
+    def test_density_unit_is_mean_matter(self):
+        u = CodeUnits.for_cosmology(STANDARD_CDM, 256.0, 100.0)
+        assert np.isclose(u.density_unit, STANDARD_CDM.mean_matter_density_z0)
+
+    def test_dynamical_time_order_one(self):
+        # code time unit = dynamical time at start: H*t ~ O(1)
+        from repro.cosmology import FriedmannSolver
+
+        u = CodeUnits.for_cosmology(STANDARD_CDM, 256.0, 100.0)
+        fr = FriedmannSolver(STANDARD_CDM)
+        ht = float(fr.hubble(u.a_initial)) * u.time_unit
+        assert 0.1 < ht < 10.0
+
+    def test_temperature_energy_roundtrip(self):
+        u = CodeUnits.for_cosmology(STANDARD_CDM, 256.0, 100.0)
+        t_in = 200.0
+        e = u.energy_from_temperature(t_in, const.MU_NEUTRAL, u.a_initial)
+        t_out = u.temperature_from_energy(e, const.MU_NEUTRAL, u.a_initial)
+        assert np.isclose(float(t_out), t_in)
+
+    def test_mean_density_is_unity_in_code(self):
+        u = CodeUnits.for_cosmology(STANDARD_CDM, 256.0, 100.0)
+        rho_cgs = u.proper_density_cgs(1.0, u.a_initial)
+        expected = STANDARD_CDM.mean_matter_density_z0 / u.a_initial**3
+        assert np.isclose(float(rho_cgs), expected)
+
+    def test_number_density_paper_scale(self):
+        # cosmic mean baryon number density at z=100 should be ~ 0.1-1 cm^-3
+        u = CodeUnits.for_cosmology(STANDARD_CDM, 256.0, 100.0)
+        frac = STANDARD_CDM.omega_baryon / STANDARD_CDM.omega_matter
+        n = float(u.number_density_cgs(frac, u.a_initial, const.MU_NEUTRAL))
+        assert 0.01 < n < 10.0
+
+    def test_jeans_length_scales(self):
+        u = CodeUnits.for_cosmology(STANDARD_CDM, 256.0, 100.0)
+        e = float(u.energy_from_temperature(200.0, 1.22, u.a_initial))
+        lj_lowrho = float(u.jeans_length_code(1.0, e, u.a_initial))
+        lj_highrho = float(u.jeans_length_code(100.0, e, u.a_initial))
+        assert lj_highrho < lj_lowrho  # L_J ~ rho^-1/2
+        assert np.isclose(lj_lowrho / lj_highrho, 10.0)
+
+    def test_gravity_constant_code_positive(self):
+        u = CodeUnits.for_cosmology(STANDARD_CDM, 256.0, 100.0)
+        assert u.gravity_constant_code > 0
+
+    def test_simple_units(self):
+        u = CodeUnits.simple()
+        assert u.mass_unit == 1.0
+        assert u.velocity_unit == 1.0

@@ -1,0 +1,127 @@
+"""Tests for CIE equilibrium / cooling curve and the top-hat model."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry.equilibrium import (
+    cie_fractions,
+    cooling_curve,
+    equilibrium_number_densities,
+)
+from repro.cosmology.tophat import (
+    DELTA_COLLAPSE,
+    VIRIAL_OVERDENSITY,
+    collapse_redshift,
+    cycloid_radius,
+    cycloid_time,
+    linear_overdensity,
+    nonlinear_overdensity,
+    peak_collapse_redshift,
+    virial_temperature,
+)
+
+
+class TestCIE:
+    def test_neutral_cold(self):
+        fr = cie_fractions(5e3)
+        assert fr["x_HI"] > 0.999
+        assert fr["x_HeI"] > 0.999
+
+    def test_ionised_hot(self):
+        fr = cie_fractions(1e6)
+        assert fr["x_HII"] > 0.99
+        assert fr["x_HeIII"] > 0.9
+
+    def test_half_ionisation_near_15000K(self):
+        """CIE hydrogen is ~50 % ionised around 1.5e4 K."""
+        T = np.logspace(4, 4.5, 60)
+        fr = cie_fractions(T)
+        i = np.argmin(np.abs(fr["x_HII"] - 0.5))
+        assert 1.2e4 < T[i] < 2.2e4
+
+    def test_fractions_sum_to_one(self):
+        T = np.logspace(3.5, 7, 20)
+        fr = cie_fractions(T)
+        np.testing.assert_allclose(fr["x_HI"] + fr["x_HII"], 1.0)
+        np.testing.assert_allclose(
+            fr["x_HeI"] + fr["x_HeII"] + fr["x_HeIII"], 1.0
+        )
+
+    def test_equilibrium_densities_charge(self):
+        n = equilibrium_number_densities(1.0, np.array([3e4]))
+        from repro.chemistry.species import electron_density
+
+        np.testing.assert_allclose(n["de"], electron_density(n), rtol=1e-10)
+
+
+class TestCoolingCurve:
+    def test_lyalpha_peak(self):
+        """The primordial curve peaks near 2e4 K at ~1e-22..1e-23 erg cm^3/s."""
+        T = np.logspace(4.0, 7.0, 120)
+        lam = cooling_curve(T, n_h=1.0)
+        i = np.argmax(lam)
+        assert 1.2e4 < T[i] < 4e4
+        assert 1e-24 < lam[i] < 1e-21
+
+    def test_he_shoulder(self):
+        """A second feature (He+ excitation) appears near 1e5 K: the curve
+        must not fall monotonically from the H peak through 1e5."""
+        T = np.logspace(4.3, 5.6, 80)
+        lam = cooling_curve(T)
+        d = np.diff(np.log(lam))
+        assert d.max() > 0  # rises again somewhere in the He regime
+
+    def test_bremsstrahlung_tail(self):
+        """At T >> 1e6 K the curve scales as sqrt(T)."""
+        l1 = cooling_curve(np.array([1e7]))[0]
+        l2 = cooling_curve(np.array([4e7]))[0]
+        assert l2 / l1 == pytest.approx(2.0, rel=0.3)
+
+    def test_h2_extends_below_1e4(self):
+        """The paper's enabling physics: with H2, cooling exists < 1e4 K."""
+        T = np.array([800.0])
+        without = cooling_curve(T, n_h=100.0, f_h2=0.0, z=30.0)[0]
+        with_h2 = cooling_curve(T, n_h=100.0, f_h2=1e-3, z=30.0)[0]
+        assert with_h2 > 10 * max(without, 1e-40)
+
+
+class TestTopHat:
+    def test_delta_collapse_value(self):
+        assert DELTA_COLLAPSE == pytest.approx(1.686, abs=0.01)
+
+    def test_virial_overdensity(self):
+        assert VIRIAL_OVERDENSITY == pytest.approx(177.65, rel=1e-3)
+
+    def test_cycloid_turnaround(self):
+        # theta = pi: maximum radius 2 (units r_max/2), delta_nl = 9pi^2/16-1
+        assert cycloid_radius(np.pi) == pytest.approx(2.0)
+        assert nonlinear_overdensity(np.pi) == pytest.approx(9 * np.pi**2 / 16)
+
+    def test_linear_vs_nonlinear_small_theta(self):
+        """Early on the linear and exact overdensities agree."""
+        th = 0.1
+        assert nonlinear_overdensity(th) - 1.0 == pytest.approx(
+            linear_overdensity(th), rel=0.02
+        )
+
+    def test_collapse_redshift(self):
+        # delta=0.2 at z=100 -> collapses at 1+z_c = 101*0.2/1.686
+        zc = collapse_redshift(0.2, 100.0)
+        assert zc == pytest.approx(101 * 0.2 / DELTA_COLLAPSE - 1)
+
+    def test_peak_collapse_matches_paper_epoch(self):
+        """A ~3-sigma peak with sigma~0.12 at z=100 collapses near z~20,
+        the paper's halo-formation epoch."""
+        zc = peak_collapse_redshift(sigma=0.12, nu=3.0, z_of_sigma=100.0)
+        assert 15 < zc < 30
+
+    def test_virial_temperature_paper_halo(self):
+        """The paper's 5.4e5 Msun halo at z=19: T_vir ~ hundreds of K —
+        below the atomic cooling threshold, hence H2."""
+        t = virial_temperature(5.4e5, 19.0, hubble=0.5, mu=1.22)
+        assert 100 < t < 3000
+        assert t < 8000  # below atomic-line cooling onset
+
+    def test_cycloid_time_monotone(self):
+        th = np.linspace(0.01, 2 * np.pi, 50)
+        assert np.all(np.diff(cycloid_time(th)) > 0)

@@ -1,0 +1,201 @@
+"""Tests for the FFT and multigrid Poisson solvers."""
+
+import numpy as np
+import pytest
+
+from repro.gravity import (
+    MultigridSolver,
+    acceleration_from_potential,
+    gravity_source,
+    laplacian,
+    solve_periodic,
+    solve_dirichlet,
+)
+
+
+class TestFFTPoisson:
+    def test_discrete_laplacian_inverse(self):
+        """laplacian(solve(S)) must reproduce S to machine precision."""
+        rng = np.random.default_rng(0)
+        n = 16
+        s = rng.standard_normal((n, n, n))
+        s -= s.mean()
+        dx = 1.0 / n
+        phi = solve_periodic(s, dx)
+        np.testing.assert_allclose(laplacian(phi, dx), s, atol=1e-9 * np.abs(s).max())
+
+    def test_single_mode(self):
+        """A sinusoidal source has the analytic eigenvalue solution."""
+        n = 32
+        dx = 1.0 / n
+        x = (np.arange(n) + 0.5) * dx
+        kx = 2.0 * np.pi
+        s = np.sin(kx * x)[:, None, None] * np.ones((1, n, n))
+        phi = solve_periodic(s, dx)
+        # discrete eigenvalue for this mode
+        eig = -2.0 / dx**2 * (1.0 - np.cos(kx * dx))
+        np.testing.assert_allclose(phi, s / eig, atol=1e-12)
+
+    def test_zero_mean_output(self):
+        rng = np.random.default_rng(1)
+        s = rng.standard_normal((8, 8, 8))
+        phi = solve_periodic(s, 0.125)
+        assert abs(phi.mean()) < 1e-14
+
+    def test_mean_projected_out(self):
+        """A constant offset in the source must not change the answer."""
+        rng = np.random.default_rng(2)
+        s = rng.standard_normal((8, 8, 8))
+        s -= s.mean()
+        phi1 = solve_periodic(s, 0.125)
+        phi2 = solve_periodic(s + 5.0, 0.125)
+        np.testing.assert_allclose(phi1, phi2, atol=1e-12)
+
+    def test_point_mass_potential_shape(self):
+        """Potential of a point mass falls off and is deepest at the mass."""
+        n = 32
+        dx = 1.0 / n
+        rho = np.zeros((n, n, n))
+        rho[n // 2, n // 2, n // 2] = 1.0 / dx**3
+        s = gravity_source(rho, g_code=1.0 / (4 * np.pi))
+        phi = solve_periodic(s, dx)
+        assert np.argmin(phi) == np.ravel_multi_index((n // 2,) * 3, (n,) * 3)
+        # radial monotonicity along an axis (away from the periodic image)
+        line = phi[n // 2, n // 2, n // 2 : n // 2 + 12]
+        assert np.all(np.diff(line) > 0)
+
+    def test_point_mass_inverse_r(self):
+        """Far from the mass (but << box) the potential approaches -Gm/r."""
+        n = 64
+        dx = 1.0 / n
+        rho = np.zeros((n, n, n))
+        rho[0, 0, 0] = 1.0 / dx**3
+        s = gravity_source(rho, g_code=1.0 / (4 * np.pi))  # G=1/(4pi): del^2 phi = rho - rhobar
+        phi = solve_periodic(s, dx)
+        # close to the mass (r << box) the periodic images contribute little:
+        # phi approaches the free-space -1/(4 pi r)
+        for r, tol in ((2, 0.05), (4, 0.2)):
+            expected = -1.0 / (4 * np.pi * r * dx)
+            assert abs(phi[r, 0, 0] - expected) < tol * abs(expected)
+
+    def test_gravity_source_subtracts_mean(self):
+        rho = np.full((4, 4, 4), 3.0)
+        s = gravity_source(rho, g_code=2.0, a=0.5)
+        np.testing.assert_allclose(s, 0.0, atol=1e-14)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            solve_periodic(np.zeros((4, 4)), 0.25)
+
+
+class TestAcceleration:
+    def test_uniform_potential_no_force(self):
+        phi = np.full((8, 8, 8), 2.5)
+        g = acceleration_from_potential(phi, 0.125)
+        np.testing.assert_allclose(g, 0.0, atol=1e-14)
+
+    def test_linear_potential_constant_force(self):
+        n = 8
+        dx = 1.0 / n
+        x = np.arange(n) * dx
+        phi = np.broadcast_to(x[:, None, None], (n, n, n)).copy()
+        g = acceleration_from_potential(phi, dx, periodic=False)
+        np.testing.assert_allclose(g[0][2:-2], -1.0, atol=1e-12)
+        np.testing.assert_allclose(g[1], 0.0, atol=1e-12)
+
+    def test_a_scaling(self):
+        rng = np.random.default_rng(3)
+        phi = rng.standard_normal((8, 8, 8))
+        g1 = acceleration_from_potential(phi, 0.125, a=1.0)
+        g2 = acceleration_from_potential(phi, 0.125, a=2.0)
+        np.testing.assert_allclose(g2, g1 / 2.0)
+
+
+class TestMultigrid:
+    def _sinusoid_problem(self, n):
+        """Dirichlet problem with known solution phi = sin(pi x) sin(pi y) sin(pi z)."""
+        dx = 1.0 / n
+        x = (np.arange(n) + 0.5) * dx
+        xx, yy, zz = np.meshgrid(x, x, x, indexing="ij")
+        phi_exact = np.sin(np.pi * xx) * np.sin(np.pi * yy) * np.sin(np.pi * zz)
+        # use the DISCRETE operator for the rhs so the test isolates solver
+        # convergence from discretisation error
+        padded = np.zeros((n + 2,) * 3)
+        padded[1:-1, 1:-1, 1:-1] = phi_exact
+        xb = np.concatenate([[-0.5 * dx], x, [1 + 0.5 * dx]])
+        xxb, yyb, zzb = np.meshgrid(xb, xb, xb, indexing="ij")
+        padded = np.sin(np.pi * xxb) * np.sin(np.pi * yyb) * np.sin(np.pi * zzb)
+        lap = (
+            padded[2:, 1:-1, 1:-1] + padded[:-2, 1:-1, 1:-1]
+            + padded[1:-1, 2:, 1:-1] + padded[1:-1, :-2, 1:-1]
+            + padded[1:-1, 1:-1, 2:] + padded[1:-1, 1:-1, :-2]
+            - 6 * padded[1:-1, 1:-1, 1:-1]
+        ) / dx**2
+        boundary = padded.copy()
+        boundary[1:-1, 1:-1, 1:-1] = 0.0  # interior: zero initial guess
+        return lap, dx, boundary, padded
+
+    @pytest.mark.parametrize("n", [8, 16])
+    def test_converges_to_discrete_solution(self, n):
+        src, dx, boundary, exact = self._sinusoid_problem(n)
+        solver = MultigridSolver(tol=1e-10)
+        phi = solver.solve(src, dx, boundary)
+        err = np.abs(phi[1:-1, 1:-1, 1:-1] - exact[1:-1, 1:-1, 1:-1]).max()
+        assert err < 1e-7 * np.abs(exact).max()
+
+    def test_residual_reported(self):
+        src, dx, boundary, _ = self._sinusoid_problem(8)
+        solver = MultigridSolver(tol=1e-10)
+        solver.solve(src, dx, boundary)
+        assert solver.last_residual < 1e-10
+        assert solver.last_cycles >= 1
+
+    def test_vcycle_faster_than_smoothing(self):
+        """V-cycles must converge in far fewer relaxations than plain GS."""
+        src, dx, boundary, _ = self._sinusoid_problem(16)
+        mg = MultigridSolver(tol=1e-8)
+        mg.solve(src, dx, boundary)
+        assert mg.last_cycles < 20  # plain GS would need O(n^2) ~ 256 sweeps
+
+    def test_zero_source_keeps_harmonic_interior(self):
+        """With zero source and linear boundary data the solution is linear."""
+        n = 8
+        dx = 1.0 / n
+        xb = np.arange(-1, n + 1)[:, None, None] * np.ones((1, n + 2, n + 2))
+        boundary = xb * dx
+        src = np.zeros((n, n, n))
+        phi = solve_dirichlet(src, dx, boundary, tol=1e-12)
+        expected = boundary[1:-1, 1:-1, 1:-1]
+        np.testing.assert_allclose(phi[1:-1, 1:-1, 1:-1], expected, atol=1e-9)
+
+    def test_odd_size_grid_supported(self):
+        """Non-power-of-two grids fall back to smoothing and still converge."""
+        n = 7
+        dx = 1.0 / n
+        rng = np.random.default_rng(4)
+        src = rng.standard_normal((n, n, n))
+        boundary = np.zeros((n + 2,) * 3)
+        solver = MultigridSolver(tol=1e-8, max_cycles=400)
+        phi = solver.solve(src, dx, boundary)
+        assert solver.last_residual < 1e-6
+
+    def test_boundary_shape_validated(self):
+        with pytest.raises(ValueError):
+            solve_dirichlet(np.zeros((4, 4, 4)), 0.25, np.zeros((4, 4, 4)))
+
+    def test_matches_fft_on_matching_problem(self):
+        """Multigrid with exact boundary values reproduces the FFT solution."""
+        n = 16
+        dx = 1.0 / n
+        rng = np.random.default_rng(5)
+        s = rng.standard_normal((n, n, n))
+        s -= s.mean()
+        phi_fft = solve_periodic(s, dx)
+        # wrap-around padded boundary from the FFT solution
+        padded = np.pad(phi_fft, 1, mode="wrap")
+        boundary = padded.copy()
+        boundary[1:-1, 1:-1, 1:-1] = 0.0
+        phi_mg = solve_dirichlet(s, dx, boundary, tol=1e-12)
+        np.testing.assert_allclose(
+            phi_mg[1:-1, 1:-1, 1:-1], phi_fft, atol=1e-8 * np.abs(phi_fft).max()
+        )

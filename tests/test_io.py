@@ -1,0 +1,121 @@
+"""Tests for checkpoint save/restore (bit-exactness included)."""
+
+import numpy as np
+import pytest
+
+from repro.amr import Grid, Hierarchy
+from repro.io import checkpoint_info, load_hierarchy, save_hierarchy
+from repro.nbody.particles import ParticleSet
+from repro.precision.doubledouble import DoubleDouble
+from repro.precision.position import PositionDD
+
+
+@pytest.fixture
+def populated_hierarchy():
+    rng = np.random.default_rng(0)
+    h = Hierarchy(n_root=8, advected=["HI", "H2I"])
+    root = h.root
+    for name, arr in root.fields.array_items():
+        arr[:] = rng.random(arr.shape)
+    child = Grid(1, (4, 4, 4), (8, 8, 8), n_root=8)
+    h.add_grid(child, root)
+    for name, arr in child.fields.array_items():
+        arr[:] = rng.random(arr.shape)
+    child.phi[:] = rng.standard_normal(child.phi.shape)
+    child.time = DoubleDouble(0.125, 1e-25)
+    root.time = DoubleDouble(0.125, 1e-25)
+    n_p = 50
+    h.particles = ParticleSet(
+        PositionDD(rng.random((n_p, 3)), 1e-20 * rng.random((n_p, 3))),
+        rng.standard_normal((n_p, 3)),
+        rng.random(n_p),
+    )
+    return h
+
+
+class TestCheckpoint:
+    def test_roundtrip_structure(self, populated_hierarchy, tmp_path):
+        p = str(tmp_path / "dump.npz")
+        save_hierarchy(populated_hierarchy, p)
+        h2 = load_hierarchy(p)
+        assert h2.grids_per_level() == populated_hierarchy.grids_per_level()
+        assert h2.validate_nesting()
+        assert h2.advected == ["HI", "H2I"]
+
+    def test_roundtrip_fields_bitexact(self, populated_hierarchy, tmp_path):
+        p = str(tmp_path / "dump.npz")
+        save_hierarchy(populated_hierarchy, p)
+        h2 = load_hierarchy(p)
+        for g1, g2 in zip(populated_hierarchy.all_grids(), h2.all_grids()):
+            for name, arr in g1.fields.array_items():
+                np.testing.assert_array_equal(arr, g2.fields[name])
+            np.testing.assert_array_equal(g1.phi, g2.phi)
+
+    def test_roundtrip_epa_exact(self, populated_hierarchy, tmp_path):
+        """Low words of dd times and particle positions must survive."""
+        p = str(tmp_path / "dump.npz")
+        save_hierarchy(populated_hierarchy, p)
+        h2 = load_hierarchy(p)
+        assert float(h2.root.time.lo) == 1e-25
+        np.testing.assert_array_equal(
+            h2.particles.positions.lo, populated_hierarchy.particles.positions.lo
+        )
+
+    def test_roundtrip_particles(self, populated_hierarchy, tmp_path):
+        p = str(tmp_path / "dump.npz")
+        save_hierarchy(populated_hierarchy, p)
+        h2 = load_hierarchy(p)
+        np.testing.assert_array_equal(
+            h2.particles.velocities, populated_hierarchy.particles.velocities
+        )
+        np.testing.assert_array_equal(
+            h2.particles.masses, populated_hierarchy.particles.masses
+        )
+
+    def test_info(self, populated_hierarchy, tmp_path):
+        p = str(tmp_path / "dump.npz")
+        save_hierarchy(populated_hierarchy, p)
+        info = checkpoint_info(p)
+        assert info["n_grids"] == 2
+        assert info["grids_per_level"] == [1, 1]
+        assert info["n_particles"] == 50
+        assert info["time"] == 0.125
+
+    def test_restart_continues_evolution(self, tmp_path):
+        """Save mid-run, restore, continue: the physics must keep working."""
+        from repro.amr import HierarchyEvolver, RefinementCriteria
+        from repro.amr.boundary import set_boundary_values
+        from repro.hydro import PPMSolver
+
+        h = Hierarchy(n_root=8)
+        x, y, z = np.meshgrid(*h.root.cell_centres(), indexing="ij")
+        h.root.fields["density"][h.root.interior] = (
+            1 + 5 * np.exp(-((x - 0.5) ** 2 + (y - 0.5) ** 2 + (z - 0.5) ** 2) / 0.01)
+        )
+        set_boundary_values(h, 0)
+        ev = HierarchyEvolver(h, PPMSolver(), cfl=0.3)
+        ev.advance_to(0.01)
+        p = str(tmp_path / "mid.npz")
+        save_hierarchy(h, p)
+
+        h2 = load_hierarchy(p)
+        ev2 = HierarchyEvolver(h2, PPMSolver(), cfl=0.3)
+        ev2.advance_to(0.02)
+        assert float(h2.root.time) == pytest.approx(0.02)
+        assert np.all(np.isfinite(h2.root.field_view("density")))
+
+    def test_version_check(self, populated_hierarchy, tmp_path):
+        import json
+
+        p = str(tmp_path / "dump.npz")
+        save_hierarchy(populated_hierarchy, p)
+        # tamper with the version
+        data = dict(np.load(p))
+        manifest = json.loads(bytes(data["manifest"]).decode())
+        manifest["format_version"] = 99
+        data["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(p, **data)
+        with pytest.raises(ValueError):
+            load_hierarchy(p)

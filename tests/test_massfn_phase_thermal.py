@@ -1,0 +1,156 @@
+"""Tests for the PS mass function, phase diagrams and thermal balance."""
+
+import numpy as np
+import pytest
+
+from repro import constants as const
+from repro.chemistry import SPECIES, primordial_initial_fractions
+from repro.chemistry.species import SPECIES_NAMES
+from repro.chemistry.thermal import (
+    cooling_vs_freefall,
+    equilibrium_temperature,
+    net_cooling,
+)
+from repro.cosmology import PowerSpectrum, STANDARD_CDM
+from repro.cosmology.mass_function import PressSchechter
+
+
+def _n_of(n_h=1.0, x_e=2e-4, f_h2=2e-6):
+    fr = primordial_initial_fractions(x_e=x_e, f_h2=f_h2)
+    rho = n_h * const.HYDROGEN_MASS / const.HYDROGEN_MASS_FRACTION
+    return {
+        s: np.atleast_1d(fr[s] * rho / (SPECIES[s].mass_amu * const.HYDROGEN_MASS))
+        for s in SPECIES_NAMES
+    }, rho
+
+
+@pytest.fixture(scope="module")
+def ps():
+    return PressSchechter(PowerSpectrum(STANDARD_CDM))
+
+
+class TestPressSchechter:
+    def test_multiplicity_normalised_shape(self, ps):
+        nu = np.linspace(0.01, 8, 400)
+        f = ps.multiplicity(nu)
+        # integral of f dnu/nu over all nu = 1 (all mass in some halo)
+        integral = np.trapezoid(f / nu, nu)
+        assert integral == pytest.approx(1.0, rel=0.05)
+
+    def test_small_halos_common_at_high_z(self, ps):
+        """Bottom-up: at z=20, 1e5-Msun haloes outnumber 1e8 ones hugely."""
+        dn_small = ps.dn_dlnM(1e5, 20.0)
+        dn_big = ps.dn_dlnM(1e8, 20.0)
+        assert dn_small > 100 * max(dn_big, 1e-300)
+
+    def test_collapsed_fraction_grows_with_time(self, ps):
+        f_early = ps.collapsed_fraction(5e5, 40.0)
+        f_late = ps.collapsed_fraction(5e5, 15.0)
+        assert f_late > f_early
+
+    def test_paper_halo_abundance(self, ps):
+        """5e5 Msun haloes must be rare-but-findable at z~20: the paper had
+        to pick a special box/realisation, but not a 10-sigma fluke."""
+        nu = ps.nu(5e5, 20.0)
+        assert 1.0 < nu < 6.0  # a 1-6 sigma peak
+
+    def test_expected_halo_count_positive(self, ps):
+        n = ps.expected_halos_in_box(5e5, 20.0, box_mpc_h=1.0)
+        assert n > 0
+
+
+class TestPhaseDiagram:
+    def _hierarchy(self):
+        from repro.amr import Hierarchy
+        from repro.amr.boundary import set_boundary_values
+
+        h = Hierarchy(n_root=8)
+        rng = np.random.default_rng(0)
+        root = h.root
+        root.fields["density"][root.interior] = 10.0 ** rng.uniform(-1, 2, (8, 8, 8))
+        root.fields["internal"][root.interior] = 10.0 ** rng.uniform(-2, 1, (8, 8, 8))
+        set_boundary_values(h, 0)
+        return h
+
+    def test_mass_conserved_in_histogram(self):
+        from repro.analysis.phase import phase_diagram
+
+        h = self._hierarchy()
+        d = phase_diagram(h, x_field="density", y_field="specific_energy", bins=16)
+        total = h.root.field_view("density").sum() * h.root.dx**3
+        assert d["mass"].sum() == pytest.approx(total, rel=1e-10)
+
+    def test_units_fields(self):
+        from repro.analysis.phase import phase_diagram, phase_summary
+        from repro.cosmology import CodeUnits, STANDARD_CDM
+
+        units = CodeUnits.for_cosmology(STANDARD_CDM, 256.0, 100.0)
+        h = self._hierarchy()
+        d = phase_diagram(h, units=units, a=units.a_initial,
+                          x_field="number_density", y_field="temperature")
+        s = phase_summary(d)
+        assert np.isfinite(s["log_x_mean"]) and np.isfinite(s["log_y_mean"])
+        assert 0 < s["mass_fraction_in_peak_bin"] <= 1
+
+    def test_needs_units_for_physical_fields(self):
+        from repro.analysis.phase import phase_diagram
+
+        with pytest.raises(ValueError):
+            phase_diagram(self._hierarchy(), x_field="temperature")
+
+
+class TestThermalBalance:
+    def test_equilibrium_bracket_consistent(self):
+        """equilibrium_temperature returns the sign-change point: net
+        cooling is positive just above it and negative just below."""
+        n, _ = _n_of(n_h=1.0, x_e=1e-3)
+        z = 20.0
+        t_eq = equilibrium_temperature(n, z).item()
+        assert net_cooling(n, np.atleast_1d(3.0 * t_eq), z).item() > 0
+        assert net_cooling(n, np.atleast_1d(t_eq / 3.0), z).item() < 0
+
+    def test_equilibrium_below_cmb(self):
+        """With line/recombination channels active the equilibrium sits at
+        or below T_cmb (Compton heating is the only heat source)."""
+        n, _ = _n_of(n_h=1.0, x_e=1e-3)
+        z = 20.0
+        t_cmb = const.CMB_TEMPERATURE_Z0 * (1 + z)
+        t_eq = equilibrium_temperature(n, z).item()
+        assert 1.0 < t_eq <= 1.2 * t_cmb
+
+    def test_net_cooling_signs(self):
+        n, _ = _n_of(x_e=1e-2)
+        z = 20.0
+        t_cmb = const.CMB_TEMPERATURE_Z0 * (1 + z)
+        assert net_cooling(n, np.atleast_1d(10 * t_cmb), z).item() > 0
+        assert net_cooling(n, np.atleast_1d(1.5), z).item() < 0
+
+    def test_rees_ostriker_crossing(self):
+        """Without H2 the halo gas cannot cool in a free-fall time; with
+        f_H2 ~ 1e-3 it can — the paper's entire premise."""
+        z = 20.0
+        T = np.atleast_1d(1000.0)
+        n_no_h2, rho = _n_of(n_h=100.0, x_e=1e-4, f_h2=1e-9)
+        n_h2, _ = _n_of(n_h=100.0, x_e=1e-4, f_h2=2e-3)
+        ratio_no = cooling_vs_freefall(n_no_h2, T, rho, z).item()
+        ratio_h2 = cooling_vs_freefall(n_h2, T, rho, z).item()
+        assert ratio_no > 1.0, "no-H2 gas must be unable to cool"
+        assert ratio_h2 < 1.0, "H2-enriched gas must cool within t_ff"
+
+    def test_cooling_time_map(self):
+        from repro.amr import Hierarchy
+        from repro.chemistry.species import ADVECTED_SPECIES
+        from repro.chemistry.thermal import cooling_time_map
+        from repro.cosmology import CodeUnits, STANDARD_CDM
+
+        units = CodeUnits.for_cosmology(STANDARD_CDM, 256.0, 100.0)
+        h = Hierarchy(n_root=4, advected=list(ADVECTED_SPECIES))
+        fr = primordial_initial_fractions()
+        root = h.root
+        root.fields["density"][:] = 0.06
+        for s, f in fr.items():
+            root.fields[s][:] = f * root.fields["density"]
+        root.fields["internal"][:] = units.energy_from_temperature(500.0, 1.22, 1.0)
+        maps = cooling_time_map(h, units, units.a_initial)
+        assert len(maps) == 1
+        assert np.all(maps[0] > 0)

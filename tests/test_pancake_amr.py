@@ -1,0 +1,78 @@
+"""Cosmological AMR integration: the Zel'dovich pancake under refinement.
+
+The pancake's caustic plane is exactly the kind of feature the paper's
+refinement criteria chase; this test runs the pancake with AMR enabled and
+checks (a) the caustic region gets refined, (b) the composite solution
+still tracks the exact Zel'dovich map, and (c) nothing leaks mass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.amr import HierarchyEvolver, RefinementCriteria
+from repro.amr.evolve import CosmologyClock
+from repro.amr.gravity import HierarchyGravity
+from repro.amr.rebuild import rebuild_hierarchy
+from repro.hydro import PPMSolver
+from repro.problems import ZeldovichPancake
+
+
+@pytest.fixture(scope="module")
+def amr_pancake():
+    zp = ZeldovichPancake(n=16, z_init=30.0, z_caustic=5.0)
+    # swap the evolver for one with refinement enabled
+    crit = RefinementCriteria(overdensity_threshold=1.6, max_level=1)
+    clock = CosmologyClock(zp.friedmann, zp.units)
+    grav = HierarchyGravity(g_code=zp.units.gravity_constant_code,
+                            mean_density=1.0)
+    ev = HierarchyEvolver(zp.hierarchy, PPMSolver(), gravity=grav,
+                          criteria=crit, clock=clock, units=zp.units,
+                          cfl=0.3, max_level=1)
+    a_end = 1.0 / (1.0 + 10.0)
+    t_end = (float(zp.friedmann.time_of_a(a_end)) - clock.t0_cgs) / zp.units.time_unit
+    ev.advance_to(t_end)
+    return zp, a_end
+
+
+class TestAMRPancake:
+    def test_caustic_region_refined(self, amr_pancake):
+        zp, a_end = amr_pancake
+        h = zp.hierarchy
+        assert h.max_level == 1
+        # the overdense sheet is at x ~ 0 (and periodic image at 1)
+        refined_x = []
+        for g in h.level_grids(1):
+            refined_x.append(0.5 * (g.left_edge[0] + g.right_edge[0]))
+        assert refined_x, "no refined grids over the caustic"
+        assert min(min(x, 1 - x) for x in refined_x) < 0.35
+
+    def test_density_tracks_exact(self, amr_pancake):
+        zp, a_end = amr_pancake
+        out = zp.profiles(a_end)
+        err = np.abs(out["density"] - out["density_exact"]) / out["density_exact"]
+        assert err.max() < 0.08
+
+    def test_mass_conserved(self, amr_pancake):
+        """Composite mass holds to O(dt^2)-per-step accuracy.
+
+        Coarse/fine interfaces are exactly flux-corrected; *same-level*
+        sibling interfaces are not (each grid computes its own fluxes from
+        ghost data refreshed once per step, so under permuted sweeps the
+        two sides can differ at second order — the standard SAMR
+        behaviour).  The drift over this whole multi-hundred-step run must
+        stay at the 1e-3 level."""
+        zp, _ = amr_pancake
+        h = zp.hierarchy
+        covered = h.covering_mask(h.root)
+        m = (h.root.field_view("density") * ~covered).sum() * h.root.dx**3
+        for g in h.level_grids(1):
+            m += g.field_view("density").sum() * g.dx**3
+        assert m == pytest.approx(1.0, rel=1e-3)
+
+    def test_nesting_and_positivity(self, amr_pancake):
+        zp, _ = amr_pancake
+        h = zp.hierarchy
+        assert h.validate_nesting()
+        for g in h.all_grids():
+            assert np.all(g.field_view("density") > 0)
+            assert np.all(np.isfinite(g.field_view("vx")))

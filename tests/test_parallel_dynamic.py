@@ -1,0 +1,100 @@
+"""Tests for the dynamic load balancer (paper ref. [22])."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.dynamic import DynamicLoadBalancer
+from repro.parallel.sterile import SterileGrid
+
+
+def _grids(n, seed=0, id_offset=0, level_max=3):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        level = int(rng.integers(0, level_max + 1))
+        dims = tuple(int(d) for d in rng.integers(4, 16, 3))
+        out.append(SterileGrid(id_offset + i, level, (0, 0, 0), dims, 0))
+    return out
+
+
+class TestDynamicBalancer:
+    def test_initial_placement_balanced(self):
+        grids = _grids(40)
+        bal = DynamicLoadBalancer(8, threshold=1.3)
+        bal.update(grids)
+        assert bal.imbalance(grids) < 1.5
+        # initial placement migrates nothing (grids are created in place)
+        assert bal.total_migrated_bytes == 0
+
+    def test_sticky_placement_when_balanced(self):
+        grids = _grids(40, seed=1)
+        bal = DynamicLoadBalancer(8)
+        a1 = bal.update(grids)
+        a2 = bal.update(grids)  # identical population: nothing moves
+        assert a1 == a2
+        assert bal.migration_events == 0
+
+    def test_migration_on_hotspot(self):
+        """A rebuild that concentrates work must trigger migrations."""
+        grids = _grids(32, seed=2, level_max=0)
+        bal = DynamicLoadBalancer(4, threshold=1.2)
+        bal.update(grids)
+        # deep new grids appear (collapse!): newcomers go to light ranks,
+        # then heavy old ranks shed work
+        deep = [
+            SterileGrid(1000 + i, 4, (0, 0, 0), (12, 12, 12), 0)
+            for i in range(6)
+        ]
+        bal.update(grids + deep)
+        imb = bal.imbalance(grids + deep)
+        assert imb < 2.0
+
+    def test_departed_grids_dropped(self):
+        grids = _grids(20, seed=3)
+        bal = DynamicLoadBalancer(4)
+        bal.update(grids)
+        survivors = grids[:5]
+        a = bal.update(survivors)
+        assert set(a.keys()) == {g.grid_id for g in survivors}
+
+    def test_migration_cost_accounted(self):
+        grids = _grids(16, seed=4, level_max=0)
+        bal = DynamicLoadBalancer(4, threshold=1.05)
+        bal.update(grids)
+        # force a gross imbalance by assigning everything to rank 0
+        for g in grids:
+            bal.assignment[g.grid_id] = 0
+        bal.update(grids)
+        rep = bal.report()
+        assert rep["migration_events"] > 0
+        assert rep["migrated_bytes"] > 0
+        assert bal.imbalance(grids) < 2.0
+
+    def test_tracks_collapse_history(self):
+        """Simulated collapse: level population deepens over rebuilds; the
+        balancer keeps imbalance bounded the whole way."""
+        rng = np.random.default_rng(5)
+        bal = DynamicLoadBalancer(8, threshold=1.3)
+        base = _grids(30, seed=6, level_max=1)
+        population = list(base)
+        next_id = 10000
+        for epoch in range(8):
+            # collapse adds deep grids, removes some shallow ones
+            new = [
+                SterileGrid(next_id + i, min(2 + epoch // 2, 5), (0, 0, 0),
+                            (8, 8, 8), 0)
+                for i in range(4)
+            ]
+            next_id += len(new)
+            population = population[2:] + new
+            bal.update(population)
+        rep = bal.report()
+        assert rep["mean_imbalance"] < 2.0
+        assert len(bal.history) == 8
+
+    def test_single_rank_degenerate(self):
+        grids = _grids(10, seed=7)
+        bal = DynamicLoadBalancer(1)
+        a = bal.update(grids)
+        assert all(r == 0 for r in a.values())
+        assert bal.imbalance(grids) == pytest.approx(1.0)

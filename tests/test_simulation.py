@@ -1,0 +1,85 @@
+"""Tests for the Simulation facade and SimulationConfig."""
+
+import numpy as np
+import pytest
+
+from repro import Simulation, SimulationConfig
+
+
+def _blob(x, y, z):
+    r2 = (x - 0.5) ** 2 + (y - 0.5) ** 2 + (z - 0.5) ** 2
+    return 1.0 + 10.0 * np.exp(-r2 / 0.01)
+
+
+class TestSimulationConfig:
+    def test_defaults(self):
+        c = SimulationConfig()
+        assert c.n_root == 16 and c.solver == "ppm"
+
+    def test_zeus_selectable(self):
+        from repro.hydro import ZeusSolver
+
+        sim = Simulation(SimulationConfig(n_root=8, solver="zeus"))
+        assert isinstance(sim.evolver.solver, ZeusSolver)
+
+
+class TestSimulation:
+    def test_set_density_and_run(self):
+        sim = Simulation(SimulationConfig(n_root=8, max_level=1,
+                                          refine_overdensity=3.0))
+        sim.set_density(_blob)
+        sim.initialize()
+        assert sim.hierarchy.max_level >= 1  # blob flagged immediately
+        out = sim.run(t_end=0.01)
+        assert out["time"] == pytest.approx(0.01)
+        assert out["n_grids"] >= 1
+
+    def test_set_field_updates_energy(self):
+        sim = Simulation(SimulationConfig(n_root=8))
+        sim.set_field("vx", lambda x, y, z: np.full_like(x, 0.5))
+        root = sim.hierarchy.root
+        e = root.fields["energy"][root.interior]
+        assert np.allclose(e, root.fields["internal"][root.interior] + 0.125)
+
+    def test_gravity_mean_autoset(self):
+        sim = Simulation(SimulationConfig(n_root=8, self_gravity=True))
+        sim.set_density(_blob)
+        sim.initialize()
+        expected = float(sim.hierarchy.root.field_view("density").mean())
+        assert sim.gravity.mean_density == pytest.approx(expected)
+
+    def test_no_criteria_freezes_structure(self):
+        sim = Simulation(SimulationConfig(n_root=8))
+        sim.set_density(_blob)
+        sim.initialize()
+        assert sim.hierarchy.max_level == 0
+        sim.run(t_end=0.005)
+        assert sim.hierarchy.max_level == 0
+
+    def test_summary_contains_fractions(self):
+        sim = Simulation(SimulationConfig(n_root=8))
+        sim.set_density(_blob)
+        sim.initialize()
+        sim.run(t_end=0.002)
+        s = sim.summary()
+        assert "component_fractions" in s
+        assert s["component_fractions"].get("hydro", 0) > 0
+
+    def test_cosmological_clock_wiring(self):
+        from repro.amr.evolve import CosmologyClock
+        from repro.cosmology import CodeUnits, FriedmannSolver, STANDARD_CDM
+
+        units = CodeUnits.for_cosmology(STANDARD_CDM, 256.0, 100.0)
+        fr = FriedmannSolver(STANDARD_CDM)
+        sim = Simulation(SimulationConfig(n_root=8), units=units, friedmann=fr)
+        assert isinstance(sim.evolver.clock, CosmologyClock)
+        assert sim.evolver.clock.a_of(0.0) == pytest.approx(units.a_initial)
+
+    def test_jeans_criterion_config(self):
+        from repro.cosmology import CodeUnits, STANDARD_CDM
+
+        units = CodeUnits.for_cosmology(STANDARD_CDM, 256.0, 100.0)
+        sim = Simulation(SimulationConfig(n_root=8, jeans_number=8.0),
+                         units=units)
+        assert sim.criteria is not None
+        assert sim.criteria.jeans_number == 8.0
