@@ -1,0 +1,233 @@
+"""Hot-path microbenchmark: cached hierarchy topology vs. the seed's scans.
+
+The paper's hero run holds >8000 subgrids across 34 levels; every boundary
+fill and every gravity sibling-exchange pass needs each grid's sibling
+list.  The seed recomputed it per call — an O(N^2) all-pairs scan with
+full overlap tests — while the topology layer (``repro.amr.topology``)
+builds per-level maps with precomputed slices once per structural epoch.
+
+This bench builds a deep hierarchy of many small subgrids (the paper's
+"generally small (~20^3) and numerous" regime), times
+
+* ``set_boundary_values`` on the crowded level,
+* ``HierarchyGravity.solve_level`` on the crowded level, and
+* the root-grid FFT solve with / without the Green's-function cache,
+
+against a faithful re-implementation of the seed's uncached algorithms
+(per-pair sibling scans, per-call slice arithmetic, and the seed's
+always-"improved" sibling exchange that never detects convergence), and
+writes ``BENCH_hotpaths.json`` next to this file — the perf trajectory's
+first datapoint.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py [--smoke] [--out X.json]
+
+or via pytest (smoke configuration)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_hotpaths.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.amr import Grid, Hierarchy
+from repro.amr.boundary import (
+    copy_from_siblings,
+    interpolate_from_parent,
+    set_boundary_values,
+)
+from repro.amr.gravity import HierarchyGravity, _exchange_rim
+from repro.gravity.fft_poisson import _inverse_eigenvalues, solve_periodic
+
+
+# --------------------------------------------------------------- hierarchy
+def build_hierarchy(children_per_dim: int, child_cells: int,
+                    deep_levels: int) -> Hierarchy:
+    """Tile level 1 with children_per_dim^3 subgrids of child_cells^3 cells,
+    then refine a corner chain deep_levels further (one small grid each) so
+    the hierarchy is deep as well as crowded."""
+    n_root = children_per_dim * child_cells // 2
+    h = Hierarchy(n_root=n_root)
+    rng = np.random.default_rng(42)
+    root = h.root
+    root.fields["density"][root.interior] = 1.0 + 0.5 * rng.random(
+        tuple(int(d) for d in root.dims)
+    )
+    for i in range(children_per_dim):
+        for j in range(children_per_dim):
+            for k in range(children_per_dim):
+                start = (i * child_cells, j * child_cells, k * child_cells)
+                g = Grid(1, start, (child_cells,) * 3, n_root, 2, h.nghost)
+                h.add_grid(g, root)
+                g.fields["density"][...] = 1.0 + 0.5 * rng.random(
+                    g.shape_with_ghosts
+                )
+    parent = h.level_grids(1)[0]
+    dims = max(child_cells, 4)
+    for lvl in range(2, 2 + deep_levels):
+        g = Grid(lvl, tuple(2 * s for s in parent.start_index), (dims,) * 3,
+                 n_root, 2, h.nghost)
+        h.add_grid(g, parent)
+        g.fields["density"][...] = 1.0
+        parent = g
+    return h
+
+
+# ------------------------------------------------- seed (uncached) baselines
+def _scan_siblings(h: Hierarchy, grid: Grid) -> list[Grid]:
+    """The seed's Hierarchy.siblings: per-pair overlap tests, every call."""
+    return [
+        other for other in h.level_grids(grid.level)
+        if other is not grid and grid.ghost_overlap_with(other) is not None
+    ]
+
+
+def baseline_set_boundary_values(h: Hierarchy, level: int) -> None:
+    """Seed set_boundary_values: re-scan siblings + per-call slice math."""
+    grids = h.level_grids(level)
+    for g in grids:
+        interpolate_from_parent(g, g.parent)
+    for g in grids:
+        copy_from_siblings(g, _scan_siblings(h, g))
+
+
+def baseline_solve_level(grav: HierarchyGravity, h: Hierarchy, level: int,
+                         a: float = 1.0) -> None:
+    """Seed solve_level: sibling scan per pass and the stalled exit
+    (any overlap counted as 'improved', so every pass always runs)."""
+    grids = h.level_grids(level)
+    sources = {g.grid_id: grav.source(h, g, a) for g in grids}
+    boundaries = {g.grid_id: grav._parent_boundary(g) for g in grids}
+    for _ in range(grav.sibling_iterations):
+        for g in grids:
+            sol = grav.mg.solve(sources[g.grid_id], g.dx, boundaries[g.grid_id])
+            grav._store_phi(g, sol)
+        improved = False
+        for g in grids:
+            for other in _scan_siblings(h, g):
+                _exchange_rim(g, other, boundaries[g.grid_id])
+                improved = True  # the seed's bug: overlap == progress
+        if not improved:
+            break
+
+
+# ------------------------------------------------------------------ timing
+def _time(fn, repeats: int) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(config: dict) -> dict:
+    h = build_hierarchy(config["children_per_dim"], config["child_cells"],
+                        config["deep_levels"])
+    n_sub = h.n_grids - 1
+    grav = HierarchyGravity(
+        g_code=1.0,
+        mean_density=float(h.root.field_view("density").mean()),
+        sibling_iterations=config["sibling_iterations"],
+        mg_tol=1e-4,
+    )
+    grav.solve_level(h, 0)  # root potential feeds the level-1 rims
+    set_boundary_values(h, 1)  # warm ghost zones for both variants
+    reps = config["repeats"]
+
+    h.topology_cache_enabled = True
+    h.sibling_map(1)  # build outside the timed region: steady-state cost
+    t_bc_cached = _time(lambda: set_boundary_values(h, 1), reps)
+    t_sl_cached = _time(lambda: grav.solve_level(h, 1), reps)
+
+    h.topology_cache_enabled = False
+    t_bc_base = _time(lambda: baseline_set_boundary_values(h, 1), reps)
+    t_sl_base = _time(lambda: baseline_solve_level(grav, h, 1), reps)
+    h.topology_cache_enabled = True
+
+    # FFT Green's-function cache on the root solve
+    src = grav.source(h, h.root, 1.0)
+    dx = h.root.dx
+    solve_periodic(src, dx)  # prime
+    t_fft_cached = _time(lambda: solve_periodic(src, dx), reps)
+
+    def fft_cold():
+        _inverse_eigenvalues.cache_clear()
+        solve_periodic(src, dx)
+
+    t_fft_base = _time(fft_cold, reps)
+
+    combined_base = t_bc_base + t_sl_base
+    combined_cached = t_bc_cached + t_sl_cached
+    return {
+        "n_subgrids": n_sub,
+        "max_level": h.max_level,
+        "set_boundary_values": {
+            "uncached_s": t_bc_base,
+            "cached_s": t_bc_cached,
+            "speedup": t_bc_base / t_bc_cached,
+        },
+        "solve_level": {
+            "uncached_s": t_sl_base,
+            "cached_s": t_sl_cached,
+            "speedup": t_sl_base / t_sl_cached,
+        },
+        "combined": {
+            "uncached_s": combined_base,
+            "cached_s": combined_cached,
+            "speedup": combined_base / combined_cached,
+        },
+        "fft_green_cache": {
+            "uncached_s": t_fft_base,
+            "cached_s": t_fft_cached,
+            "speedup": t_fft_base / t_fft_cached,
+        },
+    }
+
+
+# 8^3 = 512 subgrids of 4^3 cells: the "small and numerous" regime where
+# the seed's O(N^2) per-call sibling scans dominate the level's physics.
+SMOKE = {"children_per_dim": 8, "child_cells": 4, "deep_levels": 2,
+         "sibling_iterations": 4, "repeats": 1}
+FULL = {"children_per_dim": 8, "child_cells": 4, "deep_levels": 4,
+        "sibling_iterations": 4, "repeats": 3}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small configuration for CI (64 subgrids)")
+    ap.add_argument("--out", default=str(Path(__file__).parent / "BENCH_hotpaths.json"))
+    args = ap.parse_args(argv)
+    config = SMOKE if args.smoke else FULL
+    results = run(config)
+    payload = {
+        "bench": "hotpaths",
+        "mode": "smoke" if args.smoke else "full",
+        "config": config,
+        "results": results,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+def test_hotpaths_smoke():
+    """Pytest entry: the cached hot paths beat the seed's scans >= 3x."""
+    results = run(SMOKE)
+    assert results["n_subgrids"] >= 64
+    assert results["combined"]["speedup"] >= 3.0, results["combined"]
+    assert results["set_boundary_values"]["speedup"] >= 1.5, \
+        results["set_boundary_values"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ from repro.amr.hierarchy import Hierarchy
 from repro.amr.clustering import cluster_flagged_cells, Box
 from repro.amr.refinement import RefinementCriteria
 from repro.amr.evolve import EvolveLevel, HierarchyEvolver
+from repro.amr.topology import SiblingLink, build_sibling_map
 
 __all__ = [
     "Grid",
@@ -27,4 +28,6 @@ __all__ = [
     "RefinementCriteria",
     "EvolveLevel",
     "HierarchyEvolver",
+    "SiblingLink",
+    "build_sibling_map",
 ]

@@ -29,7 +29,10 @@ def _time_fraction(child, parent) -> float:
     denom = float(parent.time - parent.old_time)
     if denom <= 0.0 or parent.old_fields is None:
         return 1.0
-    return float(child.time - parent.old_time) / denom
+    frac = float(child.time - parent.old_time) / denom
+    # clamp: a child's last subcycle can land a hair past the parent's new
+    # time (the remaining*1e-12 dt floor), which must not extrapolate
+    return min(max(frac, 0.0), 1.0)
 
 
 def interpolate_from_parent(child, parent, include_phi: bool = True) -> None:
@@ -103,6 +106,17 @@ def copy_from_siblings(grid, siblings, include_phi: bool = True) -> None:
             grid.phi[my_sl] = other.phi[o_sl]
 
 
+def copy_from_sibling_links(grid, links, include_phi: bool = True) -> None:
+    """Like :func:`copy_from_siblings` but from precomputed SiblingLinks."""
+    names = _boundary_field_names(grid)
+    for link in links:
+        other = link.sibling
+        for name in names:
+            grid.fields[name][link.ghost_dst] = other.fields[name][link.ghost_src]
+        if include_phi and grid.phi is not None and other.phi is not None:
+            grid.phi[link.ghost_dst] = other.phi[link.ghost_src]
+
+
 def set_boundary_values(hierarchy, level: int, include_phi: bool = True) -> None:
     """The paper's SetBoundaryValues(all grids) for one level."""
     grids = hierarchy.level_grids(level)
@@ -114,8 +128,9 @@ def set_boundary_values(hierarchy, level: int, include_phi: bool = True) -> None
         return
     for g in grids:
         interpolate_from_parent(g, g.parent, include_phi)
+    smap = hierarchy.sibling_map(level)
     for g in grids:
-        copy_from_siblings(g, hierarchy.siblings(g), include_phi)
+        copy_from_sibling_links(g, smap.get(g.grid_id, ()), include_phi)
 
 
 def _wrap_phi(grid) -> None:

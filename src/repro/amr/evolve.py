@@ -24,6 +24,7 @@ the quantities that genuinely needs 128-bit once dt/t ~ 1e-12).
 
 from __future__ import annotations
 
+import warnings
 from collections import defaultdict
 
 import numpy as np
@@ -132,9 +133,13 @@ class HierarchyEvolver:
         #: forever" strategy.
         self.jeans_floor_cells = float(jeans_floor_cells)
         self.step_counter = defaultdict(int)
+        if timers is not None:
+            # let the hierarchy attribute its cache rebuilds to "topology"
+            hierarchy.timers = timers
 
     # ------------------------------------------------------------------ time
-    def compute_timestep(self, level: int, a: float, adot: float) -> float:
+    def compute_timestep(self, level: int, a: float, adot: float,
+                         remaining: float | None = None) -> float:
         """min over the level's grids of every constraint (paper Sec. 3.1)."""
         h = self.hierarchy
         dts = [expansion_timestep(a, adot)]
@@ -152,7 +157,21 @@ class HierarchyEvolver:
                 f"NaN timestep on level {level}: the solution has gone bad"
             )
         if not np.isfinite(dt):
-            dt = 1.0
+            # no constraint bites (vacuum / zero-signal state, and the
+            # expansion timestep — already part of the min — is unbounded
+            # too): fall back to the time left to the parent, never a
+            # silent magic constant
+            if remaining is not None and np.isfinite(remaining) and remaining > 0.0:
+                dt, fallback = float(remaining), "remaining time to parent"
+            else:
+                dt, fallback = 1.0, "unit code time"
+            warnings.warn(
+                f"non-finite timestep on level {level} (zero signal speed "
+                f"everywhere — vacuum or empty level?); falling back to "
+                f"{fallback} dt={dt:.6g}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return dt
 
     # -------------------------------------------------------------- evolve
@@ -174,7 +193,8 @@ class HierarchyEvolver:
             time_now = grids[0].time
             a = self.clock.a_of(time_now)
             adot = self.clock.adot_of(time_now)
-            dt = self.compute_timestep(level, a, adot)
+            remaining = float(parent_time - time_now)
+            dt = self.compute_timestep(level, a, adot, remaining)
 
             # gravity first: gas and particles feel the same potential, and
             # the acceleration constrains the timestep (free-fall through a
@@ -190,7 +210,6 @@ class HierarchyEvolver:
                         accel_timestep(acc[(slice(None),) + g.interior], g.dx, a),
                     )
 
-            remaining = float(parent_time - time_now)
             dt = min(dt, remaining)
             dt = max(dt, remaining * 1e-12)
             a_mid = self.clock.a_of(float(time_now) + 0.5 * dt)
@@ -255,12 +274,24 @@ class HierarchyEvolver:
         mask = owner == level
         if not mask.any():
             return
-        idx = np.nonzero(mask)[0]
+        # assign every particle to exactly one grid from its *pre-step*
+        # position (first containing grid wins): a particle drifting across
+        # a sibling face mid-step must not be advanced again by the
+        # later-iterated grid it lands in
+        unassigned = mask.copy()
+        assignments: list[tuple] = []
         for g in h.level_grids(level):
-            in_g = parts.in_region(g.left_edge, g.right_edge)
-            sel = np.nonzero(in_g & mask)[0]
+            if not unassigned.any():
+                break
+            sel = np.nonzero(
+                parts.in_region(g.left_edge, g.right_edge) & unassigned
+            )[0]
             if len(sel) == 0:
                 continue
+            unassigned[sel] = False
+            assignments.append((g, sel))
+        moved = False
+        for g, sel in assignments:
             acc_field = accel.get(g.grid_id)
             if acc_field is None:
                 continue
@@ -282,6 +313,9 @@ class HierarchyEvolver:
             )
             v = v * drag + pa2 * 0.5 * dt
             parts.velocities[sel] = v
+            moved = True
+        if moved:
+            h.notify_particles_moved()
 
     def _apply_jeans_floor(self, grid, a: float) -> None:
         """Pressure support so L_J >= jeans_floor_cells * dx at the cap.

@@ -86,16 +86,23 @@ class HierarchyGravity:
 
         sources = {g.grid_id: self.source(hierarchy, g, a) for g in grids}
         boundaries = {g.grid_id: self._parent_boundary(g) for g in grids}
+        smap = hierarchy.sibling_map(level)
         for iteration in range(self.sibling_iterations):
             for g in grids:
                 rim = boundaries[g.grid_id]
                 sol = self.mg.solve(sources[g.grid_id], g.dx, rim)
                 self._store_phi(g, sol)
-            # exchange: overwrite rim values with sibling solutions
+            # exchange: overwrite rim values with sibling solutions; a pass
+            # that changes nothing means the iteration has converged
             improved = False
             for g in grids:
-                for other in hierarchy.siblings(g):
-                    if _exchange_rim(g, other, boundaries[g.grid_id]):
+                rim = boundaries[g.grid_id]
+                for link in smap.get(g.grid_id, ()):
+                    if link.rim_dst is None:
+                        continue
+                    new = link.sibling.phi[link.rim_src]
+                    if not np.array_equal(rim[link.rim_dst], new):
+                        rim[link.rim_dst] = new
                         improved = True
             if not improved:
                 break
@@ -183,8 +190,9 @@ def _exchange_rim(grid, other, rim: np.ndarray) -> bool:
     """Copy sibling interior phi into my Dirichlet rim where they overlap.
 
     The rim spans level indices [start-1, end+1); only rim cells (not the
-    interior of the padded array) are updated.  Returns True if anything
-    changed.
+    interior of the padded array) are updated.  Returns True only when the
+    copied values actually differ from what the rim already held — merely
+    overlapping siblings must not keep the convergence loop alive.
     """
     lo = np.maximum(grid.start_index - 1, other.start_index)
     hi = np.minimum(grid.end_index + 1, other.end_index)
@@ -199,5 +207,8 @@ def _exchange_rim(grid, other, rim: np.ndarray) -> bool:
         slice(int(lo[d] - other.start_index[d] + ng), int(hi[d] - other.start_index[d] + ng))
         for d in range(3)
     )
-    rim[my_sl] = other.phi[o_sl]
+    new = other.phi[o_sl]
+    if np.array_equal(rim[my_sl], new):
+        return False
+    rim[my_sl] = new
     return True

@@ -16,13 +16,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.amr.grid import Grid
+from repro.amr.topology import build_sibling_map
 from repro.hydro.state import FieldSet
 from repro.nbody.particles import ParticleSet
 from repro.precision.doubledouble import DoubleDouble
 
 
 class Hierarchy:
-    """Container and bookkeeping for the SAMR grid tree."""
+    """Container and bookkeeping for the SAMR grid tree.
+
+    Topology queries (sibling lists, per-particle finest levels) are served
+    from caches keyed by ``topology_epoch``, a counter bumped by every
+    structural mutation (``add_grid`` / ``remove_level_grids``), so the hot
+    paths never re-derive overlaps while the tree is unchanged and rebuilds
+    invalidate automatically.  Set ``topology_cache_enabled = False`` to
+    force a rebuild on every query (the uncached baseline the hot-path
+    benchmark compares against).
+    """
 
     def __init__(self, n_root: int, refine_factor: int = 2, nghost: int = 3,
                  advected=()):
@@ -33,12 +43,32 @@ class Hierarchy:
         root = Grid(0, (0, 0, 0), (n_root,) * 3, n_root, refine_factor, nghost)
         root.allocate(self.advected)
         self.levels: list[list[Grid]] = [[root]]
+        #: bumped on every structural change; cache keys derive from it
+        self.topology_epoch = 0
+        self.topology_cache_enabled = True
+        self.timers = None  # optional ComponentTimers ("topology" section)
+        self._sibling_maps: dict[int, tuple[int, dict]] = {}
+        self._particle_epoch = 0
+        self._plevel_cache: tuple[tuple, np.ndarray] | None = None
         self.particles = ParticleSet.empty()
         # counters the performance layer reads (paper Fig. 5 discussion)
         self.grids_created = 1
         self.grids_destroyed = 0
 
     # ------------------------------------------------------------- accessors
+    @property
+    def particles(self) -> ParticleSet:
+        return self._particles
+
+    @particles.setter
+    def particles(self, parts: ParticleSet) -> None:
+        self._particles = parts
+        self.notify_particles_moved()
+
+    def notify_particles_moved(self) -> None:
+        """Invalidate the particle-level cache after positions change."""
+        self._particle_epoch += 1
+
     @property
     def root(self) -> Grid:
         return self.levels[0][0]
@@ -77,6 +107,7 @@ class Hierarchy:
             grid.allocate(self.advected)
         grid.time = DoubleDouble(parent.time)
         self.grids_created += 1
+        self.topology_epoch += 1
 
     def remove_level_grids(self, level: int) -> None:
         """Delete all grids at `level` and deeper (used by rebuild)."""
@@ -90,17 +121,37 @@ class Hierarchy:
         while len(self.levels) > 1 and not self.levels[-1]:
             self.levels.pop()
         self.grids_destroyed += removed
+        self.topology_epoch += 1
 
     # --------------------------------------------------------------- queries
+    def sibling_map(self, level: int) -> dict:
+        """``grid_id -> list[SiblingLink]`` for a level, cached per epoch.
+
+        The map (precomputed ghost- and rim-overlap slices, see
+        :mod:`repro.amr.topology`) is rebuilt lazily the first time it is
+        requested after a structural change.
+        """
+        if self.topology_cache_enabled:
+            entry = self._sibling_maps.get(level)
+            if entry is not None and entry[0] == self.topology_epoch:
+                return entry[1]
+        smap = self._timed_topology(
+            build_sibling_map, self.level_grids(level), self.nghost
+        )
+        if self.topology_cache_enabled:
+            self._sibling_maps[level] = (self.topology_epoch, smap)
+        return smap
+
     def siblings(self, grid: Grid) -> list[Grid]:
         """Same-level grids whose interiors touch my ghost-expanded region."""
-        out = []
-        for other in self.level_grids(grid.level):
-            if other is grid:
-                continue
-            if grid.ghost_overlap_with(other) is not None:
-                out.append(other)
-        return out
+        links = self.sibling_map(grid.level).get(grid.grid_id)
+        if links is None:
+            # grid not (yet) registered on its level: direct scan
+            return [
+                other for other in self.level_grids(grid.level)
+                if other is not grid and grid.ghost_overlap_with(other) is not None
+            ]
+        return [link.sibling for link in links]
 
     def finest_grid_at(self, xyz) -> Grid:
         """Deepest grid whose interior contains the given point."""
@@ -117,7 +168,26 @@ class Hierarchy:
         return best
 
     def finest_level_of_particles(self) -> np.ndarray:
-        """Per-particle finest level whose grids contain it (vectorised)."""
+        """Per-particle finest level whose grids contain it (vectorised).
+
+        Cached until either the tree changes (``topology_epoch``) or the
+        particles move (``notify_particles_moved``); the returned array is
+        read-only so a consumer cannot corrupt the cache in place.
+        """
+        key = (self.topology_epoch, self._particle_epoch, id(self._particles))
+        if (
+            self.topology_cache_enabled
+            and self._plevel_cache is not None
+            and self._plevel_cache[0] == key
+        ):
+            return self._plevel_cache[1]
+        level_of = self._timed_topology(self._compute_particle_levels)
+        level_of.flags.writeable = False
+        if self.topology_cache_enabled:
+            self._plevel_cache = (key, level_of)
+        return level_of
+
+    def _compute_particle_levels(self) -> np.ndarray:
         pos = self.particles.positions.hi + self.particles.positions.lo
         level_of = np.zeros(len(self.particles), dtype=np.int32)
         for lvl in range(1, len(self.levels)):
@@ -128,6 +198,12 @@ class Hierarchy:
                 )
             level_of[covered] = lvl
         return level_of
+
+    def _timed_topology(self, fn, *args):
+        if self.timers is None:
+            return fn(*args)
+        with self.timers.section("topology"):
+            return fn(*args)
 
     def covering_mask(self, grid: Grid) -> np.ndarray:
         """Boolean interior-shaped mask of cells covered by children."""

@@ -9,21 +9,21 @@ not an accuracy loss.)
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 
-def solve_periodic(source: np.ndarray, dx: float) -> np.ndarray:
-    """Solve del^2 phi = source with periodic boundaries.
+@lru_cache(maxsize=32)
+def _inverse_eigenvalues(shape: tuple, dx: float) -> np.ndarray:
+    """Reciprocal eigenvalues of the 7-point Laplacian on the rfft grid.
 
-    The source must have zero mean (a periodic Poisson problem is only
-    solvable up to that compatibility condition); any residual mean is
-    projected out, which for cosmology is exactly the usual rho - rho_bar.
-    Returns phi with zero mean.
+    This is the solver's Green's function; it depends only on (shape, dx),
+    both of which repeat every step for every live grid, so it is cached.
+    The zero mode is set to 0 (projects out the source mean).  The array is
+    frozen read-only because it is shared between calls.
     """
-    if source.ndim != 3:
-        raise ValueError("expected a 3-d source")
-    n0, n1, n2 = source.shape
-    s_hat = np.fft.rfftn(source)
+    n0, n1, n2 = shape
     kx = np.fft.fftfreq(n0)[:, None, None]
     ky = np.fft.fftfreq(n1)[None, :, None]
     kz = np.fft.rfftfreq(n2)[None, None, :]
@@ -37,9 +37,25 @@ def solve_periodic(source: np.ndarray, dx: float) -> np.ndarray:
             + (1.0 - np.cos(2.0 * np.pi * kz))
         )
     )
-    with np.errstate(divide="ignore", invalid="ignore"):
-        phi_hat = np.where(eig != 0.0, s_hat / np.where(eig == 0.0, 1.0, eig), 0.0)
-    phi_hat[0, 0, 0] = 0.0  # zero mean; also removes any source mean
+    inv = np.zeros_like(eig)
+    nonzero = eig != 0.0
+    inv[nonzero] = 1.0 / eig[nonzero]
+    inv.flags.writeable = False
+    return inv
+
+
+def solve_periodic(source: np.ndarray, dx: float) -> np.ndarray:
+    """Solve del^2 phi = source with periodic boundaries.
+
+    The source must have zero mean (a periodic Poisson problem is only
+    solvable up to that compatibility condition); any residual mean is
+    projected out, which for cosmology is exactly the usual rho - rho_bar.
+    Returns phi with zero mean.
+    """
+    if source.ndim != 3:
+        raise ValueError("expected a 3-d source")
+    inv = _inverse_eigenvalues(source.shape, float(dx))
+    phi_hat = np.fft.rfftn(source) * inv  # zero mode annihilated by inv
     return np.fft.irfftn(phi_hat, s=source.shape, axes=(0, 1, 2))
 
 

@@ -9,13 +9,14 @@
   "virtual flop rate" arithmetic for an equivalent unigrid calculation.
 """
 
-from repro.perf.timers import ComponentTimers
+from repro.perf.timers import ComponentTimers, SECTIONS
 from repro.perf.hierarchy_stats import HierarchyStats
 from repro.perf.flops import OperationCounts, virtual_flop_rate, sustained_flop_rate
 from repro.perf.opcount import OperationRecorder, MultiStats
 
 __all__ = [
     "ComponentTimers",
+    "SECTIONS",
     "HierarchyStats",
     "OperationCounts",
     "OperationRecorder",

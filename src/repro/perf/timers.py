@@ -6,6 +6,24 @@ import time
 from collections import defaultdict
 from contextlib import contextmanager
 
+#: canonical section names used by the evolver and hierarchy, in the order
+#: of the paper's Sec. 5 component table.  "topology" is the hierarchy's
+#: cached-sibling-map / particle-level bookkeeping (rebuilt once per
+#: structural epoch) — the cost Enzo's boundary lists amortise; a separate
+#: section lets the component table attribute it instead of folding it
+#: into "other overhead".
+SECTIONS = (
+    "hydro",
+    "gravity",
+    "chemistry",
+    "nbody",
+    "rebuild",
+    "boundary",
+    "flux_correction",
+    "projection",
+    "topology",
+)
+
 
 class ComponentTimers:
     """Nested-safe section timers with fraction reporting.

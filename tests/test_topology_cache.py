@@ -1,0 +1,199 @@
+"""Topology-cache behaviour: epoch invalidation, link correctness, and the
+cached consumers producing the same answers as direct scans."""
+
+import numpy as np
+import pytest
+
+from repro.amr import Grid, Hierarchy, build_sibling_map
+from repro.amr.boundary import copy_from_siblings, set_boundary_values
+from repro.nbody.particles import ParticleSet
+from repro.perf import ComponentTimers
+from repro.precision.position import PositionDD
+
+
+def _grid(level, start, dims, n_root=8):
+    return Grid(level, start, dims, n_root=n_root)
+
+
+class TestSiblingMap:
+    def test_links_match_direct_scan(self):
+        h = Hierarchy(n_root=8)
+        a = _grid(1, (0, 0, 0), (4, 4, 4))
+        b = _grid(1, (4, 0, 0), (4, 4, 4))
+        c = _grid(1, (12, 12, 12), (4, 4, 4))
+        for g in (a, b, c):
+            h.add_grid(g, h.root)
+        smap = h.sibling_map(1)
+        assert [l.sibling for l in smap[a.grid_id]] == [b]
+        assert [l.sibling for l in smap[b.grid_id]] == [a]
+        assert smap[c.grid_id] == []
+
+    def test_ghost_slices_equal_legacy_copy(self):
+        """copy via precomputed links == the per-call slice arithmetic."""
+        h = Hierarchy(n_root=8)
+        a = _grid(1, (2, 2, 2), (4, 4, 4))
+        b = _grid(1, (6, 2, 2), (6, 4, 4))
+        h.add_grid(a, h.root)
+        h.add_grid(b, h.root)
+        rng = np.random.default_rng(1)
+        for g in (a, b):
+            for name, arr in g.fields.array_items():
+                arr[...] = rng.random(arr.shape)
+            g.phi[...] = rng.random(g.phi.shape)
+
+        before = {k: v.copy() for k, v in a.fields.array_items()}
+        copy_from_siblings(a, [b])
+        legacy_result = {k: v.copy() for k, v in a.fields.array_items()}
+
+        # reset and do it through the cached links
+        for name in before:
+            a.fields[name][...] = before[name]
+        smap = h.sibling_map(1)
+        from repro.amr.boundary import copy_from_sibling_links
+
+        copy_from_sibling_links(a, smap[a.grid_id])
+        for name in before:
+            np.testing.assert_array_equal(a.fields[name], legacy_result[name])
+
+    def test_rim_slices_only_when_rim_touches(self):
+        h = Hierarchy(n_root=8)
+        a = _grid(1, (0, 0, 0), (4, 4, 4))
+        b = _grid(1, (4, 0, 0), (4, 4, 4))   # face neighbour: rim overlap
+        c = _grid(1, (6, 4, 4), (4, 4, 4))   # within ghosts (3) but not rim
+        for g in (a, b, c):
+            h.add_grid(g, h.root)
+        smap = h.sibling_map(1)
+        by_sib = {l.sibling: l for l in smap[a.grid_id]}
+        assert by_sib[b].rim_dst is not None
+        assert by_sib[c].rim_dst is None
+
+    def test_build_matches_bruteforce_random(self):
+        rng = np.random.default_rng(3)
+        h = Hierarchy(n_root=16)
+        grids = []
+        for _ in range(30):
+            start = rng.integers(0, 28, size=3)
+            dims = rng.integers(2, 5, size=3)
+            hi = np.minimum(start + dims, 32)
+            g = Grid(1, tuple(start), tuple(hi - start), n_root=16)
+            h.add_grid(g, h.root)
+            grids.append(g)
+        smap = build_sibling_map(grids, h.nghost)
+        for g in grids:
+            expect = {
+                o.grid_id for o in grids
+                if o is not g and g.ghost_overlap_with(o) is not None
+            }
+            got = {l.sibling.grid_id for l in smap[g.grid_id]}
+            assert got == expect
+
+
+class TestEpochInvalidation:
+    def test_add_grid_bumps_epoch_and_refreshes_siblings(self):
+        h = Hierarchy(n_root=8)
+        a = _grid(1, (0, 0, 0), (4, 4, 4))
+        h.add_grid(a, h.root)
+        e0 = h.topology_epoch
+        assert h.siblings(a) == []  # build + cache the level-1 map
+        b = _grid(1, (4, 0, 0), (4, 4, 4))
+        h.add_grid(b, h.root)
+        assert h.topology_epoch > e0
+        assert h.siblings(a) == [b]  # stale map must not be served
+
+    def test_remove_level_grids_bumps_epoch_and_refreshes(self):
+        h = Hierarchy(n_root=8)
+        a = _grid(1, (0, 0, 0), (4, 4, 4))
+        b = _grid(1, (4, 0, 0), (4, 4, 4))
+        h.add_grid(a, h.root)
+        h.add_grid(b, h.root)
+        assert h.siblings(a) == [b]
+        e0 = h.topology_epoch
+        h.remove_level_grids(1)
+        assert h.topology_epoch > e0
+        assert h.sibling_map(1) == {}
+
+    def test_same_epoch_reuses_map_object(self):
+        h = Hierarchy(n_root=8)
+        h.add_grid(_grid(1, (0, 0, 0), (4, 4, 4)), h.root)
+        h.add_grid(_grid(1, (4, 0, 0), (4, 4, 4)), h.root)
+        m1 = h.sibling_map(1)
+        m2 = h.sibling_map(1)
+        assert m1 is m2
+
+    def test_cache_disabled_rebuilds_every_call(self):
+        h = Hierarchy(n_root=8)
+        h.add_grid(_grid(1, (0, 0, 0), (4, 4, 4)), h.root)
+        h.topology_cache_enabled = False
+        m1 = h.sibling_map(1)
+        m2 = h.sibling_map(1)
+        assert m1 is not m2
+
+    def test_particle_levels_cached_and_invalidated(self):
+        h = Hierarchy(n_root=8)
+        child = _grid(1, (4, 4, 4), (8, 8, 8))
+        h.add_grid(child, h.root)
+        h.particles = ParticleSet(
+            PositionDD(np.array([[0.5, 0.5, 0.5], [0.1, 0.1, 0.1]])),
+            np.zeros((2, 3)), np.ones(2),
+        )
+        lv1 = h.finest_level_of_particles()
+        np.testing.assert_array_equal(lv1, [1, 0])
+        assert h.finest_level_of_particles() is lv1  # served from cache
+        assert not lv1.flags.writeable
+
+        # structural change invalidates
+        h.remove_level_grids(1)
+        np.testing.assert_array_equal(h.finest_level_of_particles(), [0, 0])
+
+        # particle motion invalidates
+        h.add_grid(_grid(1, (4, 4, 4), (8, 8, 8)), h.root)
+        lv2 = h.finest_level_of_particles()
+        h.notify_particles_moved()
+        assert h.finest_level_of_particles() is not lv2
+
+    def test_particle_replacement_invalidates(self):
+        h = Hierarchy(n_root=8)
+        h.particles = ParticleSet(
+            PositionDD(np.array([[0.5, 0.5, 0.5]])), np.zeros((1, 3)), np.ones(1)
+        )
+        lv = h.finest_level_of_particles()
+        assert len(lv) == 1
+        h.particles = ParticleSet.empty()
+        assert len(h.finest_level_of_particles()) == 0
+
+
+class TestTimersSection:
+    def test_topology_section_registers(self):
+        h = Hierarchy(n_root=8)
+        h.timers = ComponentTimers()
+        h.add_grid(_grid(1, (0, 0, 0), (8, 8, 8)), h.root)
+        set_boundary_values(h, 1)
+        assert h.timers.totals.get("topology", 0.0) > 0.0
+        assert h.timers.counts["topology"] >= 1
+
+
+class TestConsumersAgree:
+    def test_set_boundary_values_same_with_and_without_cache(self):
+        def build():
+            h = Hierarchy(n_root=8)
+            rng = np.random.default_rng(7)
+            h.root.fields["density"][h.root.interior] = 1.0 + rng.random((8, 8, 8))
+            set_boundary_values(h, 0)
+            a = _grid(1, (2, 2, 2), (6, 6, 6))
+            b = _grid(1, (8, 2, 2), (4, 6, 6))
+            h.add_grid(a, h.root)
+            h.add_grid(b, h.root)
+            from repro.amr.rebuild import _fill_new_grid
+            _fill_new_grid(a, h.root, [])
+            _fill_new_grid(b, h.root, [])
+            a.fields["density"][a.interior] += 0.5
+            b.fields["density"][b.interior] += 0.25
+            return h
+
+        h1, h2 = build(), build()
+        h2.topology_cache_enabled = False
+        set_boundary_values(h1, 1)
+        set_boundary_values(h2, 1)
+        for g1, g2 in zip(h1.level_grids(1), h2.level_grids(1)):
+            for name, arr in g1.fields.array_items():
+                np.testing.assert_array_equal(arr, g2.fields[name])
