@@ -3,7 +3,11 @@
 The hero run's outputs were multi-GB dumps; analysis, visualisation and
 restarts all flowed through them.  This example runs a collapse, saves a
 checkpoint mid-flight, restores it in a fresh hierarchy, continues both to
-the same final time and verifies the restart is faithful.
+the same final time and verifies the restart is faithful.  A second demo
+puts the same machinery under the fault-tolerant run-control layer
+(`repro.runtime`): rotated atomic checkpoints, a watchdog that rolls a
+NaN-poisoned run back to the last good dump, and a JSONL telemetry stream
+(see docs/RUNTIME.md).
 
 Run:  python examples/checkpoint_restart.py
 """
@@ -58,5 +62,45 @@ def main():
     os.remove(path)
 
 
+def run_control_demo():
+    """The fault-tolerant loop: checkpoints, NaN rollback, telemetry."""
+    import shutil
+
+    from repro import Simulation, SimulationConfig
+    from repro.runtime import CheckpointPolicy, read_events, telemetry_path
+
+    print("\n--- run control: watchdog recovery + telemetry ---")
+    run_dir = os.path.join(tempfile.gettempdir(), "repro_demo_run")
+    shutil.rmtree(run_dir, ignore_errors=True)
+
+    sim = Simulation(SimulationConfig(n_root=8, self_gravity=True,
+                                      max_level=1, refine_overdensity=3.0,
+                                      g_code=2.0, cfl=0.3))
+    sim.set_density(lambda x, y, z: 1 + 10 * np.exp(
+        -((x - .5) ** 2 + (y - .5) ** 2 + (z - .5) ** 2) / 0.01))
+    sim.set_field("internal", lambda x, y, z: np.full_like(x, 0.05))
+    sim.initialize()
+
+    poisoned = []
+
+    def cosmic_ray(controller):
+        """Flip a cell to NaN mid-run, once — the watchdog catches it."""
+        if controller.step == 3 and not poisoned:
+            poisoned.append(True)
+            controller.hierarchy.root.fields["density"][5, 5, 5] = np.nan
+
+    controller = sim.make_controller(
+        run_dir, pre_step=cosmic_ray,
+        policy=CheckpointPolicy(every_steps=2, keep=3))
+    out = controller.run(t_end=0.8, max_root_steps=6)
+    print(f"status = {out['status']}, steps = {out['steps']}, "
+          f"recoveries = {out['recoveries']}, cfl now {sim.evolver.cfl}")
+    for event in read_events(telemetry_path(run_dir)):
+        if event["event"] in ("recovery", "checkpoint", "finish"):
+            print(f"  telemetry: {event}")
+    shutil.rmtree(run_dir, ignore_errors=True)
+
+
 if __name__ == "__main__":
     main()
+    run_control_demo()

@@ -7,11 +7,17 @@ sod         — run the Sod shock tube and print the L1 error
 pancake     — run the Zel'dovich pancake validation
 collapse    — run a short primordial-collapse demo
 inspect F   — summarise a checkpoint file
+run         — primordial collapse under run control (checkpoints,
+              crash recovery, JSONL telemetry); survives SIGTERM
+resume      — continue an interrupted/crashed run bit-exactly from its
+              newest loadable checkpoint
+tail D      — summarise a run directory's telemetry stream
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -32,6 +38,7 @@ def cmd_info(args) -> int:
         ("repro.analysis", "profiles, zooms, halos, Jacques"),
         ("repro.perf", "timers, hierarchy stats, op counting"),
         ("repro.io", "checkpoint/restart"),
+        ("repro.runtime", "run control: atomic checkpoints, recovery, telemetry"),
     ]
     for mod, desc in subsystems:
         print(f"  {mod:<18s} {desc}")
@@ -87,7 +94,101 @@ def cmd_inspect(args) -> int:
 
     info = checkpoint_info(args.file)
     for key, val in info.items():
-        print(f"{key:<16s} {val}")
+        if isinstance(val, float):
+            print(f"{key:<16s} {val:.6g}")
+        else:
+            print(f"{key:<16s} {val}")
+    return 0
+
+
+def _print_run_summary(out: dict) -> None:
+    print(f"status = {out['status']}  steps = {out['steps']}  "
+          f"t = {out['t']:.6g}  recoveries = {out['recoveries']}  "
+          f"wall = {out['wall']:.1f}s  dir = {out['run_dir']}")
+
+
+def _collapse_problem(**kwargs):
+    from repro.perf import ComponentTimers
+    from repro.problems import PrimordialCollapse
+
+    # always instrument controlled runs: telemetry step records carry the
+    # per-component timer fractions (the paper's Sec. 5 usage table, live)
+    return PrimordialCollapse(timers=ComponentTimers(), **kwargs)
+
+
+def cmd_run(args) -> int:
+    from repro.runtime import CheckpointPolicy
+
+    run_dir = args.dir or args.telemetry or "runs/collapse"
+    problem = _collapse_problem(
+        n_root=args.n, max_level=args.levels, amplitude_boost=4.0,
+        mass_refine_factor=8.0, with_chemistry=not args.no_chemistry,
+    )
+    problem.initial_rebuild()
+    controller = problem.make_controller(
+        run_dir, z_end=args.z_end,
+        policy=CheckpointPolicy(every_steps=args.checkpoint_every,
+                                keep=args.keep),
+    )
+    out = controller.run(problem.code_time_of_redshift(args.z_end),
+                         max_root_steps=args.max_steps)
+    _print_run_summary(out)
+    return 2 if out["status"] == "interrupted" else 0
+
+
+def cmd_resume(args) -> int:
+    from repro.runtime import CheckpointPolicy, RunState
+
+    latest = CheckpointPolicy.latest(args.dir)
+    if latest is None:
+        print(f"no checkpoint found in {args.dir!r}", file=sys.stderr)
+        return 1
+    state = RunState.load(latest[2])
+    cfg = state.config or {}
+    policy = CheckpointPolicy(every_steps=args.checkpoint_every,
+                              keep=args.keep)
+    if cfg.get("problem") == "collapse":
+        problem = _collapse_problem(**cfg["kwargs"])
+        controller = problem.make_controller(
+            args.dir, z_end=cfg.get("z_end"), policy=policy)
+    elif cfg.get("problem") == "simulation":
+        from repro import Simulation, SimulationConfig
+
+        kwargs = dict(cfg["kwargs"])
+        kwargs["advected"] = tuple(kwargs.get("advected", ()))
+        sim = Simulation(SimulationConfig(**kwargs))
+        controller = sim.make_controller(args.dir, policy=policy)
+    else:
+        print("checkpoint carries no rebuildable problem config",
+              file=sys.stderr)
+        return 1
+    out = controller.resume(max_root_steps=args.max_steps)
+    _print_run_summary(out)
+    return 2 if out["status"] == "interrupted" else 0
+
+
+def cmd_tail(args) -> int:
+    from repro.runtime import telemetry_path
+    from repro.runtime.telemetry import format_events, read_events, summarise
+
+    path = args.dir
+    if os.path.isdir(path):
+        path = telemetry_path(path)
+    if not os.path.exists(path):
+        print(f"no telemetry at {path!r}", file=sys.stderr)
+        return 1
+    events = read_events(path)
+    shown = events[-args.n:]
+    if len(events) > len(shown):
+        print(f"... ({len(events) - len(shown)} earlier events)")
+    print(format_events(shown))
+    s = summarise(path)
+    line = (f"-- {s['steps']} steps, {s['checkpoints']} checkpoints, "
+            f"{s['recoveries']} recoveries, lifecycle: "
+            f"{' -> '.join(s['lifecycle']) or 'none'}")
+    if "t" in s:
+        line += f"; t = {s['t']:.6g}, grids = {s['grids']}, cells = {s['cells']}"
+    print(line)
     return 0
 
 
@@ -118,6 +219,37 @@ def main(argv=None) -> int:
     p = sub.add_parser("inspect", help="summarise a checkpoint")
     p.add_argument("file")
     p.set_defaults(fn=cmd_inspect)
+
+    p = sub.add_parser(
+        "run", help="primordial collapse under fault-tolerant run control")
+    p.add_argument("-n", type=int, default=8)
+    p.add_argument("--levels", type=int, default=2)
+    p.add_argument("--z-end", type=float, default=80.0)
+    p.add_argument("--max-steps", type=int, default=None)
+    p.add_argument("--no-chemistry", action="store_true")
+    p.add_argument("--dir", default=None, help="run directory")
+    p.add_argument("--telemetry", default=None,
+                   help="run directory (alias of --dir; telemetry.jsonl, "
+                        "checkpoints and run state live here)")
+    p.add_argument("--checkpoint-every", type=int, default=5,
+                   help="root steps between checkpoints")
+    p.add_argument("--keep", type=int, default=3,
+                   help="rotated checkpoints to retain")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "resume", help="continue a run from its newest loadable checkpoint")
+    p.add_argument("--dir", required=True, help="run directory")
+    p.add_argument("--max-steps", type=int, default=None,
+                   help="override the stored root-step budget")
+    p.add_argument("--checkpoint-every", type=int, default=5)
+    p.add_argument("--keep", type=int, default=3)
+    p.set_defaults(fn=cmd_resume)
+
+    p = sub.add_parser("tail", help="summarise a run's telemetry stream")
+    p.add_argument("dir", help="run directory or telemetry.jsonl path")
+    p.add_argument("-n", type=int, default=12, help="events to show")
+    p.set_defaults(fn=cmd_tail)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -179,6 +179,26 @@ class HierarchyEvolver:
         """Top-level driver: evolve the whole hierarchy to stop_time."""
         self.evolve_level(0, DoubleDouble(stop_time))
 
+    def advance_root_step(self, stop_time) -> float | None:
+        """Take exactly one root-level step toward ``stop_time``.
+
+        The run-control layer (:mod:`repro.runtime`) drives the hierarchy
+        through this entry point so it can checkpoint, emit telemetry, and
+        watchdog-check the state at every root-step boundary — the only
+        points where the whole hierarchy is time-synchronised.  Returns the
+        root dt taken, or ``None`` if the root is already at ``stop_time``.
+        """
+        h = self.hierarchy
+        target = (
+            stop_time
+            if isinstance(stop_time, DoubleDouble)
+            else DoubleDouble(stop_time)
+        )
+        if not bool(h.root.time < target):
+            return None
+        self._timed("boundary", set_boundary_values, h, 0)
+        return self._step_level(0, target)
+
     def evolve_level(self, level: int, parent_time) -> None:
         h = self.hierarchy
         grids = h.level_grids(level)
@@ -186,82 +206,90 @@ class HierarchyEvolver:
             return
         self._timed("boundary", set_boundary_values, h, level)
 
-        while bool(grids[0].time < parent_time):
-            grids = h.level_grids(level)
-            if not grids:
+        while grids and bool(grids[0].time < parent_time):
+            if self._step_level(level, parent_time) is None:
                 return
-            time_now = grids[0].time
-            a = self.clock.a_of(time_now)
-            adot = self.clock.adot_of(time_now)
-            remaining = float(parent_time - time_now)
-            dt = self.compute_timestep(level, a, adot, remaining)
+            grids = h.level_grids(level)
 
-            # gravity first: gas and particles feel the same potential, and
-            # the acceleration constrains the timestep (free-fall through a
-            # cell must be resolved)
-            accel = {}
-            if self.gravity is not None:
-                self._timed("gravity", self.gravity.solve_level, h, level, a)
-                for g in grids:
-                    acc = self.gravity.acceleration(g, a)
-                    accel[g.grid_id] = acc
-                    dt = min(
-                        dt,
-                        accel_timestep(acc[(slice(None),) + g.interior], g.dx, a),
-                    )
+    def _step_level(self, level: int, parent_time) -> float | None:
+        """One step of the EvolveLevel body; returns the dt taken."""
+        h = self.hierarchy
+        grids = h.level_grids(level)
+        if not grids:
+            return None
+        time_now = grids[0].time
+        a = self.clock.a_of(time_now)
+        adot = self.clock.adot_of(time_now)
+        remaining = float(parent_time - time_now)
+        dt = self.compute_timestep(level, a, adot, remaining)
 
-            dt = min(dt, remaining)
-            dt = max(dt, remaining * 1e-12)
-            a_mid = self.clock.a_of(float(time_now) + 0.5 * dt)
-            adot_mid = self.clock.adot_of(float(time_now) + 0.5 * dt)
-
-            permute = self.step_counter[level] % 3
+        # gravity first: gas and particles feel the same potential, and
+        # the acceleration constrains the timestep (free-fall through a
+        # cell must be resolved)
+        accel = {}
+        if self.gravity is not None:
+            self._timed("gravity", self.gravity.solve_level, h, level, a)
             for g in grids:
-                g.save_old_state()
-                fluxes = self._timed(
-                    "hydro", self.solver.step, g.fields, g.dx, dt,
-                    a_mid, adot_mid, accel.get(g.grid_id), permute,
+                acc = self.gravity.acceleration(g, a)
+                accel[g.grid_id] = acc
+                dt = min(
+                    dt,
+                    accel_timestep(acc[(slice(None),) + g.interior], g.dx, a),
                 )
-                g.last_fluxes = fluxes
-                if level > 0:
-                    accumulate_boundary_fluxes(g, fluxes)
-                g.time = DoubleDouble(g.time + dt)
 
-            self._timed("nbody", self._advance_particles, level, dt, a_mid,
-                        adot_mid, accel)
+        dt = min(dt, remaining)
+        dt = max(dt, remaining * 1e-12)
+        a_mid = self.clock.a_of(float(time_now) + 0.5 * dt)
+        adot_mid = self.clock.adot_of(float(time_now) + 0.5 * dt)
 
-            if self.chemistry is not None and self.units is not None:
-                for g in grids:
-                    self._timed("chemistry", self.chemistry.advance_fields,
-                                g.fields, dt, self.units, a_mid)
+        permute = self.step_counter[level] % 3
+        for g in grids:
+            g.save_old_state()
+            fluxes = self._timed(
+                "hydro", self.solver.step, g.fields, g.dx, dt,
+                a_mid, adot_mid, accel.get(g.grid_id), permute,
+            )
+            g.last_fluxes = fluxes
+            if level > 0:
+                accumulate_boundary_fluxes(g, fluxes)
+            g.time = DoubleDouble(g.time + dt)
 
-            if (
-                self.jeans_floor_cells > 0.0
-                and self.gravity is not None
-                and self.max_level is not None
-                and level >= self.max_level
-            ):
-                for g in grids:
-                    self._apply_jeans_floor(g, a_mid)
+        self._timed("nbody", self._advance_particles, level, dt, a_mid,
+                    adot_mid, accel)
 
-            self._timed("boundary", set_boundary_values, h, level)
-            self.evolve_level(level + 1, grids[0].time)
-            self._timed("flux_correction", correct_level, h, level + 1)
-            self._timed("projection", project_level, h, level + 1)
+        if self.chemistry is not None and self.units is not None:
+            for g in grids:
+                self._timed("chemistry", self.chemistry.advance_fields,
+                            g.fields, dt, self.units, a_mid)
 
-            self.step_counter[level] += 1
-            if (
-                self.criteria is not None
-                and (self.max_level is None or level + 1 <= self.max_level)
-                and self.step_counter[level] % self.rebuild_every == 0
-            ):
-                self._timed("rebuild", lambda: rebuild_hierarchy(
-                    h, level + 1, self.criteria, self._dm_density,
-                    max_level=self.max_level))
-                if self.stats is not None and hasattr(self.stats, "record_rebuild"):
-                    self.stats.record_rebuild(h, level + 1)
-            if self.stats is not None and hasattr(self.stats, "record_step"):
-                self.stats.record_step(h, level, dt, float(grids[0].time))
+        if (
+            self.jeans_floor_cells > 0.0
+            and self.gravity is not None
+            and self.max_level is not None
+            and level >= self.max_level
+        ):
+            for g in grids:
+                self._apply_jeans_floor(g, a_mid)
+
+        self._timed("boundary", set_boundary_values, h, level)
+        self.evolve_level(level + 1, grids[0].time)
+        self._timed("flux_correction", correct_level, h, level + 1)
+        self._timed("projection", project_level, h, level + 1)
+
+        self.step_counter[level] += 1
+        if (
+            self.criteria is not None
+            and (self.max_level is None or level + 1 <= self.max_level)
+            and self.step_counter[level] % self.rebuild_every == 0
+        ):
+            self._timed("rebuild", lambda: rebuild_hierarchy(
+                h, level + 1, self.criteria, self._dm_density,
+                max_level=self.max_level))
+            if self.stats is not None and hasattr(self.stats, "record_rebuild"):
+                self.stats.record_rebuild(h, level + 1)
+        if self.stats is not None and hasattr(self.stats, "record_step"):
+            self.stats.record_step(h, level, dt, float(grids[0].time))
+        return dt
 
     # ------------------------------------------------------------- particles
     def _advance_particles(self, level: int, dt: float, a: float, adot: float,

@@ -7,6 +7,16 @@ their extended-precision positions, times) to a single compressed ``.npz``
 and restores it bit-exactly.
 """
 
-from repro.io.checkpoint import save_hierarchy, load_hierarchy, checkpoint_info
+from repro.io.checkpoint import (
+    CheckpointError,
+    checkpoint_info,
+    load_hierarchy,
+    save_hierarchy,
+)
 
-__all__ = ["save_hierarchy", "load_hierarchy", "checkpoint_info"]
+__all__ = [
+    "CheckpointError",
+    "save_hierarchy",
+    "load_hierarchy",
+    "checkpoint_info",
+]

@@ -5,11 +5,24 @@ structure and one array entry per grid field.  Extended-precision values
 (particle positions, per-grid times) are stored as their (hi, lo) word
 pairs so restarts are bit-exact — a float64 round-trip would silently
 destroy exactly the precision the paper's Sec. 3.5 exists to protect.
+
+Durability: :func:`save_hierarchy` is atomic — it writes to ``<path>.tmp``,
+fsyncs, then ``os.replace``s onto the final name — so a crash mid-write
+(the failure mode that ends a weeks-long hero run) can never leave a torn
+checkpoint where a good one used to be.  :func:`load_hierarchy` and
+:func:`checkpoint_info` raise :class:`CheckpointError` (a ``ValueError``)
+on truncated or corrupt files instead of leaking ``KeyError`` /
+``BadZipFile`` internals.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import struct
+import zipfile
+import zlib
 
 import numpy as np
 
@@ -23,8 +36,57 @@ from repro.precision.position import PositionDD
 FORMAT_VERSION = 1
 
 
-def save_hierarchy(hierarchy: Hierarchy, path: str) -> None:
-    """Write the full state (grids, fields, phi, particles, times)."""
+class CheckpointError(ValueError):
+    """A checkpoint file is missing pieces, truncated, or corrupt."""
+
+
+#: low-level exceptions a damaged npz can surface while reading
+_CORRUPTION_ERRORS = (
+    KeyError,
+    EOFError,
+    OSError,
+    zipfile.BadZipFile,
+    zlib.error,
+    struct.error,
+    json.JSONDecodeError,
+    ValueError,
+)
+
+
+@contextlib.contextmanager
+def _io_section(timers):
+    """Attribute checkpoint I/O to the component table's "io" section."""
+    if timers is None:
+        yield
+    else:
+        with timers.section("io"):
+            yield
+
+
+@contextlib.contextmanager
+def _checkpoint_errors(path: str, action: str):
+    """Translate low-level read failures into a clear CheckpointError."""
+    try:
+        yield
+    except FileNotFoundError:
+        raise
+    except CheckpointError:
+        raise
+    except _CORRUPTION_ERRORS as exc:
+        raise CheckpointError(
+            f"cannot {action} checkpoint {path!r}: file is truncated or "
+            f"corrupt ({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+def save_hierarchy(hierarchy: Hierarchy, path: str, timers=None) -> None:
+    """Write the full state (grids, fields, phi, particles, times).
+
+    The write is atomic: readers either see the previous checkpoint or the
+    complete new one, never a partial file.  ``timers`` (an optional
+    :class:`repro.perf.timers.ComponentTimers`) attributes the cost to the
+    ``"io"`` section.
+    """
     manifest = {
         "format_version": FORMAT_VERSION,
         "n_root": hierarchy.n_root,
@@ -65,65 +127,109 @@ def save_hierarchy(hierarchy: Hierarchy, path: str) -> None:
     arrays["manifest"] = np.frombuffer(
         json.dumps(manifest).encode(), dtype=np.uint8
     )
-    np.savez_compressed(path, **arrays)
+
+    path = str(path)
+    tmp = path + ".tmp"
+    with _io_section(timers):
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(os.path.dirname(path) or ".")
 
 
-def load_hierarchy(path: str) -> Hierarchy:
+def _fsync_dir(dirname: str) -> None:
+    """Make the rename itself durable (best effort on exotic filesystems)."""
+    try:
+        fd = os.open(dirname, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def load_hierarchy(path: str, timers=None) -> Hierarchy:
     """Restore a hierarchy saved by :func:`save_hierarchy` (bit-exact)."""
-    data = np.load(path)
-    manifest = json.loads(bytes(data["manifest"]).decode())
-    if manifest["format_version"] != FORMAT_VERSION:
-        raise ValueError(
-            f"checkpoint format {manifest['format_version']} not supported"
-        )
-    h = Hierarchy(
-        n_root=manifest["n_root"],
-        refine_factor=manifest["refine_factor"],
-        nghost=manifest["nghost"],
-        advected=manifest["advected"],
-    )
-    # the constructor made a fresh root; rebuild all grids in order
-    by_index: dict[int, Grid] = {}
-    entries = sorted(manifest["grids"], key=lambda e: (e["level"], e["index"]))
-    for entry in entries:
-        i = entry["index"]
-        if entry["level"] == 0:
-            g = h.root
-        else:
-            g = Grid(
-                entry["level"], entry["start_index"], entry["dims"],
-                manifest["n_root"], manifest["refine_factor"],
-                manifest["nghost"],
+    with _io_section(timers), _checkpoint_errors(path, "load"):
+        data = np.load(path)
+        manifest = json.loads(bytes(data["manifest"]).decode())
+        if manifest["format_version"] != FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint format {manifest['format_version']} not supported"
             )
-            h.add_grid(g, by_index[entry["parent"]])
-        by_index[i] = g
-        for name in entry["fields"]:
-            if name == META_KEY:
-                continue
-            g.fields[name][...] = data[f"g{i}_{name}"]
-        g.phi[...] = data[f"g{i}_phi"]
-        g.time = DoubleDouble(float(entry["time_hi"]), float(entry["time_lo"]))
+        h = Hierarchy(
+            n_root=manifest["n_root"],
+            refine_factor=manifest["refine_factor"],
+            nghost=manifest["nghost"],
+            advected=manifest["advected"],
+        )
+        # the constructor made a fresh root; rebuild all grids in order
+        by_index: dict[int, Grid] = {}
+        entries = sorted(
+            manifest["grids"], key=lambda e: (e["level"], e["index"])
+        )
+        for entry in entries:
+            i = entry["index"]
+            if entry["level"] == 0:
+                g = h.root
+            else:
+                g = Grid(
+                    entry["level"], entry["start_index"], entry["dims"],
+                    manifest["n_root"], manifest["refine_factor"],
+                    manifest["nghost"],
+                )
+                h.add_grid(g, by_index[entry["parent"]])
+            by_index[i] = g
+            for name in entry["fields"]:
+                if name == META_KEY:
+                    continue
+                g.fields[name][...] = data[f"g{i}_{name}"]
+            g.phi[...] = data[f"g{i}_phi"]
+            g.time = DoubleDouble(
+                float(entry["time_hi"]), float(entry["time_lo"])
+            )
 
-    h.particles = ParticleSet(
-        PositionDD(data["particles_pos_hi"], data["particles_pos_lo"]),
-        data["particles_vel"],
-        data["particles_mass"],
-        data["particles_ids"],
-    )
+        h.particles = ParticleSet(
+            PositionDD(data["particles_pos_hi"], data["particles_pos_lo"]),
+            data["particles_vel"],
+            data["particles_mass"],
+            data["particles_ids"],
+        )
     return h
 
 
 def checkpoint_info(path: str) -> dict:
-    """Summary of a checkpoint without loading the field data."""
-    data = np.load(path)
-    manifest = json.loads(bytes(data["manifest"]).decode())
-    levels: dict[int, int] = {}
-    for entry in manifest["grids"]:
-        levels[entry["level"]] = levels.get(entry["level"], 0) + 1
+    """Summary of a checkpoint without loading the field data.
+
+    Reports hierarchy-wide state — deepest level, finest cell width, total
+    cells, spatial dynamic range — not just the root grid's clock.
+    """
+    with _checkpoint_errors(path, "inspect"):
+        data = np.load(path)
+        manifest = json.loads(bytes(data["manifest"]).decode())
+        levels: dict[int, int] = {}
+        total_cells = 0
+        for entry in manifest["grids"]:
+            levels[entry["level"]] = levels.get(entry["level"], 0) + 1
+            total_cells += int(np.prod(entry["dims"]))
+        deepest = max(levels) if levels else 0
+        n_root = manifest["n_root"]
+        refine = manifest["refine_factor"]
+        n_particles = int(data["particles_mass"].shape[0])
     return {
-        "n_root": manifest["n_root"],
+        "format_version": manifest["format_version"],
+        "n_root": n_root,
         "n_grids": len(manifest["grids"]),
         "grids_per_level": [levels[k] for k in sorted(levels)],
-        "n_particles": int(data["particles_mass"].shape[0]),
+        "n_particles": n_particles,
         "time": manifest["grids"][0]["time_hi"],
+        "deepest_level": deepest,
+        "total_cells": total_cells,
+        "finest_dx": 1.0 / (n_root * refine**deepest),
+        "sdr": float(n_root * refine**deepest),
     }

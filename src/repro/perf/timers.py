@@ -11,7 +11,8 @@ from contextlib import contextmanager
 #: cached-sibling-map / particle-level bookkeeping (rebuilt once per
 #: structural epoch) — the cost Enzo's boundary lists amortise; a separate
 #: section lets the component table attribute it instead of folding it
-#: into "other overhead".
+#: into "other overhead".  "io" is checkpoint save/load — material once the
+#: run-control layer checkpoints every few root steps.
 SECTIONS = (
     "hydro",
     "gravity",
@@ -22,6 +23,7 @@ SECTIONS = (
     "flux_correction",
     "projection",
     "topology",
+    "io",
 )
 
 

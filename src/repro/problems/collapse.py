@@ -72,6 +72,21 @@ class PrimordialCollapse:
                  region_left=(0.25, 0.25, 0.25), region_right=(0.75, 0.75, 0.75),
                  timers: ComponentTimers | None = None, cfl: float = 0.4,
                  max_dims: int = 16):
+        #: constructor spec (JSON-serialisable) — stored in every RunState
+        #: so ``python -m repro resume`` can rebuild this exact problem
+        self.spec = {
+            "n_root": int(n_root), "box_kpc": float(box_kpc),
+            "z_init": float(z_init), "seed": int(seed),
+            "max_level": int(max_level), "jeans_number": float(jeans_number),
+            "static_levels": int(static_levels),
+            "amplitude_boost": float(amplitude_boost),
+            "with_chemistry": bool(with_chemistry),
+            "with_dark_matter": bool(with_dark_matter),
+            "mass_refine_factor": float(mass_refine_factor),
+            "region_left": list(region_left),
+            "region_right": list(region_right),
+            "cfl": float(cfl), "max_dims": int(max_dims),
+        }
         self.params = STANDARD_CDM.with_(sigma8=STANDARD_CDM.sigma8 * amplitude_boost)
         self.units = CodeUnits.for_cosmology(self.params, box_kpc, z_init)
         self.friedmann = FriedmannSolver(self.params)
@@ -199,6 +214,33 @@ class PrimordialCollapse:
             max_dims=self._max_dims,
         )
 
+    def code_time_of_redshift(self, z: float) -> float:
+        """Code time at which the background reaches redshift ``z``."""
+        a = 1.0 / (1.0 + z)
+        t_cgs = float(self.friedmann.time_of_a(a))
+        return (t_cgs - self.clock.t0_cgs) / self.units.time_unit
+
+    def make_controller(self, run_dir: str, z_end: float | None = None,
+                        **opts):
+        """A :class:`repro.runtime.RunController` wired for this problem.
+
+        The controller's ``pre_step`` hook tracks ``criteria.a`` with the
+        expansion (deterministically, from the restored clock, so resumed
+        runs refine identically), and the stored config lets the CLI
+        rebuild this problem on ``resume``.
+        """
+        from repro.runtime import RunController
+
+        def track_expansion(controller) -> None:
+            self.criteria.a = self.clock.a_of(self.hierarchy.root.time)
+
+        opts.setdefault("pre_step", track_expansion)
+        config = {"problem": "collapse", "kwargs": dict(self.spec)}
+        if z_end is not None:
+            config["z_end"] = float(z_end)
+        opts.setdefault("config", config)
+        return RunController(self.evolver, run_dir, problem=self, **opts)
+
     def run_to_redshift(self, z_end: float, max_root_steps: int = 10000,
                         snapshot_densities=None) -> dict:
         """Advance until redshift ``z_end``, snapshotting profiles on the way.
@@ -207,9 +249,7 @@ class PrimordialCollapse:
         (cm^-3) at which to record Fig.4-style radial profiles.
         """
         targets = list(snapshot_densities or [])
-        a_end = 1.0 / (1.0 + z_end)
-        t_end_cgs = float(self.friedmann.time_of_a(a_end))
-        t_end = (t_end_cgs - self.clock.t0_cgs) / self.units.time_unit
+        t_end = self.code_time_of_redshift(z_end)
         steps = 0
         while float(self.hierarchy.root.time) < t_end and steps < max_root_steps:
             t_now = float(self.hierarchy.root.time)

@@ -1,0 +1,56 @@
+"""Fault-tolerant run control: checkpoints, crash recovery, telemetry.
+
+The paper's hero run evolved 34 levels of refinement over weeks of
+wall-clock — survivable only with disciplined checkpoint/restart and
+per-cycle logs an operator can tail.  This package is that layer:
+
+* :class:`RunController` — owns the root-step advance loop; durable
+  atomic checkpoints with rotation, bit-exact ``resume()``, watchdog
+  rollback-and-retry on non-finite state, SIGINT/SIGTERM drain-to-
+  checkpoint, and a JSONL telemetry stream.
+* :class:`CheckpointPolicy` / :class:`RunState` — cadence, rotation, and
+  the saved-alongside-the-hierarchy record (clock words, per-level step
+  counters, CFL, RNG state, problem config).
+* :class:`Watchdog` / :class:`RecoveryPolicy` — NaN detection and the
+  reduced-CFL retry schedule.
+* :mod:`repro.runtime.telemetry` — the event stream and the monitor API
+  (``summarise``, ``read_events``) behind ``python -m repro tail``.
+"""
+
+from repro.runtime.checkpoint_policy import (
+    CheckpointPolicy,
+    RunState,
+    restore_rng_state,
+    serialize_rng_state,
+)
+from repro.runtime.controller import RunController
+from repro.runtime.recovery import (
+    NonFiniteStateError,
+    RecoveryPolicy,
+    RunFailedError,
+    SignalGuard,
+    Watchdog,
+)
+from repro.runtime.telemetry import (
+    TelemetryWriter,
+    read_events,
+    summarise,
+    telemetry_path,
+)
+
+__all__ = [
+    "RunController",
+    "CheckpointPolicy",
+    "RunState",
+    "RecoveryPolicy",
+    "Watchdog",
+    "SignalGuard",
+    "NonFiniteStateError",
+    "RunFailedError",
+    "TelemetryWriter",
+    "read_events",
+    "summarise",
+    "telemetry_path",
+    "serialize_rng_state",
+    "restore_rng_state",
+]

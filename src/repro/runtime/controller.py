@@ -1,0 +1,294 @@
+"""RunController: the fault-tolerant advance loop.
+
+Owns the outer loop that used to be inlined in ``Simulation.run`` /
+``PrimordialCollapse.run_to_redshift`` and wraps every root step with the
+run-control services a weeks-long job needs:
+
+* **durable checkpoints** — atomic hierarchy dumps plus a
+  :class:`~repro.runtime.checkpoint_policy.RunState` record (clock words,
+  per-level subcycle counters, CFL, RNG state, problem config) written as
+  a pair, rotated to a keep-count, so ``resume()`` continues *bit-exactly*
+  where ``run()`` stopped;
+* **crash recovery** — a :class:`~repro.runtime.recovery.Watchdog` scans
+  the state after each root step; on NaN/Inf (or a NaN timestep raised by
+  the evolver) the controller rolls back to the newest loadable
+  checkpoint, retries with a reduced CFL, and gives up only after
+  ``RecoveryPolicy.max_retries`` consecutive trips without progress;
+* **clean drains** — SIGINT/SIGTERM set a flag that is honoured at the
+  next root-step boundary: checkpoint, telemetry epilogue, orderly return;
+* **structured telemetry** — one JSONL record per root step (see
+  :mod:`repro.runtime.telemetry`) plus checkpoint/recovery/lifecycle
+  events.
+
+Bit-exactness contract: ``run(2N steps)`` and ``run(N) -> resume(N)``
+produce identical hierarchies because (a) the hierarchy npz round-trips
+every array and every DoubleDouble word pair exactly, (b) the RunState
+restores the evolver's per-level step counters (which drive the hydro
+sweep permutation), CFL, gravity mean density and the global RNG, and
+(c) both paths advance through the same ``advance_root_step`` code path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import defaultdict
+
+from repro.io.checkpoint import (
+    CheckpointError,
+    load_hierarchy,
+    save_hierarchy,
+)
+from repro.precision.doubledouble import DoubleDouble
+from repro.runtime.checkpoint_policy import (
+    CheckpointPolicy,
+    RunState,
+    restore_rng_state,
+)
+from repro.runtime.recovery import (
+    NonFiniteStateError,
+    RecoveryPolicy,
+    RunFailedError,
+    SignalGuard,
+    Watchdog,
+)
+from repro.runtime.telemetry import (
+    TelemetryWriter,
+    step_record,
+    telemetry_path,
+)
+
+
+class RunController:
+    """Fault-tolerant driver around a :class:`HierarchyEvolver`.
+
+    Parameters
+    ----------
+    evolver:
+        The configured :class:`repro.amr.evolve.HierarchyEvolver`.
+    run_dir:
+        Directory for checkpoints and ``telemetry.jsonl`` (created).
+    policy / recovery / watchdog:
+        Optional overrides of :class:`CheckpointPolicy`,
+        :class:`RecoveryPolicy`, :class:`Watchdog`.
+    problem:
+        Optional owner object (``Simulation`` / ``PrimordialCollapse``)
+        whose ``hierarchy`` attribute is kept in sync across rollbacks.
+    pre_step:
+        Optional callback ``pre_step(controller)`` invoked before every
+        root step (e.g. to track ``criteria.a`` with the expansion).
+    config:
+        JSON-serialisable problem spec stored in every RunState so the
+        CLI can rebuild the evolver on ``resume``.
+    """
+
+    def __init__(self, evolver, run_dir: str, *, policy=None, recovery=None,
+                 watchdog=None, problem=None, pre_step=None, config=None):
+        self.evolver = evolver
+        self.run_dir = str(run_dir)
+        self.policy = policy or CheckpointPolicy()
+        self.recovery = recovery or RecoveryPolicy()
+        self.watchdog = watchdog or Watchdog()
+        self.problem = problem
+        self.pre_step = pre_step
+        self.config = dict(config or {})
+        self.step = 0
+        self.t_end: float = 0.0
+        self.max_root_steps: int | None = None
+        self.recoveries = 0
+        self._retries = 0
+        self._highest_failed_step = -1
+        self._last_checkpoint_step = -1
+        self.telemetry: TelemetryWriter | None = None
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def hierarchy(self):
+        return self.evolver.hierarchy
+
+    # -------------------------------------------------------------- control
+    def run(self, t_end: float, max_root_steps: int | None = None) -> dict:
+        """Fresh start: checkpoint the initial state, then advance."""
+        os.makedirs(self.run_dir, exist_ok=True)
+        self.t_end = float(t_end)
+        self.max_root_steps = max_root_steps
+        self.step = 0
+        self.telemetry = TelemetryWriter(telemetry_path(self.run_dir))
+        self.telemetry.emit("start", t_end=self.t_end,
+                            max_root_steps=max_root_steps,
+                            config=self.config)
+        self._checkpoint()
+        return self._loop()
+
+    def resume(self, max_root_steps: int | None = None,
+               t_end: float | None = None) -> dict:
+        """Continue from the newest loadable checkpoint in ``run_dir``."""
+        step, hierarchy, state = self._latest_loadable()
+        self._install(hierarchy, state)
+        self.t_end = float(t_end) if t_end is not None else float(state.t_end)
+        self.max_root_steps = (
+            max_root_steps if max_root_steps is not None
+            else state.max_root_steps
+        )
+        self.recoveries = int(state.recoveries)
+        if state.config and not self.config:
+            self.config = dict(state.config)
+        self.telemetry = TelemetryWriter(telemetry_path(self.run_dir))
+        self.telemetry.emit("resume", step=self.step, t=float(state.t_hi),
+                            t_end=self.t_end,
+                            max_root_steps=self.max_root_steps)
+        return self._loop()
+
+    # ----------------------------------------------------------------- loop
+    def _loop(self) -> dict:
+        ev = self.evolver
+        wall_start = time.monotonic()
+        status = "finished"
+        with SignalGuard() as guard:
+            while True:
+                if self.max_root_steps is not None and \
+                        self.step >= self.max_root_steps:
+                    status = "max_steps"
+                    break
+                if guard.triggered:
+                    status = "interrupted"
+                    break
+                if self.pre_step is not None:
+                    self.pre_step(self)
+                try:
+                    dt = ev.advance_root_step(self.t_end)
+                    if dt is not None:
+                        self.watchdog.check(ev.hierarchy, dt)
+                except (FloatingPointError, NonFiniteStateError) as exc:
+                    self._recover(str(exc))
+                    continue
+                if dt is None:  # root clock has reached t_end
+                    break
+                self.step += 1
+                if self.step > self._highest_failed_step:
+                    self._retries = 0
+                self.telemetry.emit("step", **step_record(ev, self.step, dt))
+                if self.policy.due(self.step):
+                    self._checkpoint()
+                if guard.triggered:
+                    status = "interrupted"
+                    break
+            self._checkpoint()
+            summary = {
+                "status": status,
+                "steps": self.step,
+                "t": float(ev.hierarchy.root.time),
+                "recoveries": self.recoveries,
+                "wall": round(time.monotonic() - wall_start, 3),
+                "run_dir": self.run_dir,
+            }
+            if guard.triggered:
+                summary["signal"] = guard.triggered
+            self.telemetry.emit(
+                "interrupted" if status == "interrupted" else "finish",
+                **summary,
+            )
+            self.telemetry.close()
+        return summary
+
+    # ----------------------------------------------------------- checkpoint
+    def _checkpoint(self) -> str:
+        """Write the (hierarchy, RunState) pair for the current step."""
+        data_path = self.policy.data_path(self.run_dir, self.step)
+        if self._last_checkpoint_step == self.step:
+            return data_path  # already durable for this step
+        state_path = self.policy.state_path(self.run_dir, self.step)
+        save_hierarchy(self.evolver.hierarchy, data_path,
+                       timers=self.evolver.timers)
+        state = RunState.capture(
+            self.evolver,
+            step=self.step,
+            t_end=self.t_end,
+            max_root_steps=self.max_root_steps,
+            config=self.config,
+            checkpoint=os.path.basename(data_path),
+            recoveries=self.recoveries,
+        )
+        state.save(state_path)
+        self._last_checkpoint_step = self.step
+        removed = self.policy.rotate(self.run_dir)
+        if self.telemetry is not None:
+            self.telemetry.emit("checkpoint", step=self.step,
+                                path=os.path.basename(data_path),
+                                rotated_out=removed)
+        return data_path
+
+    def _latest_loadable(self) -> tuple[int, object, RunState]:
+        """Newest checkpoint pair that still loads (skips corrupt ones)."""
+        pairs = CheckpointPolicy.list_checkpoints(self.run_dir)
+        last_error: Exception | None = None
+        for step, npz, state_path in reversed(pairs):
+            try:
+                hierarchy = load_hierarchy(npz, timers=self.evolver.timers)
+                state = RunState.load(state_path)
+            except (CheckpointError, OSError, ValueError) as exc:
+                last_error = exc
+                continue
+            return step, hierarchy, state
+        raise CheckpointError(
+            f"no loadable checkpoint in {self.run_dir!r}"
+            + (f" (last error: {last_error})" if last_error else "")
+        )
+
+    def _install(self, hierarchy, state: RunState,
+                 cfl: float | None = None) -> None:
+        """Swap a restored hierarchy + RunState into the live objects."""
+        ev = self.evolver
+        ev.hierarchy = hierarchy
+        if ev.timers is not None:
+            hierarchy.timers = ev.timers
+        ev.step_counter = defaultdict(
+            int, {int(k): int(v) for k, v in state.step_counter.items()}
+        )
+        ev.cfl = float(cfl) if cfl is not None else float(state.cfl)
+        if ev.gravity is not None and state.gravity_mean_density is not None:
+            ev.gravity.mean_density = float(state.gravity_mean_density)
+        if state.rng_state:
+            restore_rng_state(state.rng_state)
+        if self.problem is not None and hasattr(self.problem, "hierarchy"):
+            self.problem.hierarchy = hierarchy
+        self.step = int(state.step)
+        # any checkpoint beyond the restored step belongs to the abandoned
+        # trajectory — never dedup against it
+        self._last_checkpoint_step = -1
+
+    # ------------------------------------------------------------- recovery
+    def _recover(self, reason: str) -> None:
+        """Roll back to the last good checkpoint and retry, CFL reduced."""
+        failed_step = self.step + 1
+        self._highest_failed_step = max(self._highest_failed_step,
+                                        failed_step)
+        if self._retries >= self.recovery.max_retries:
+            if self.telemetry is not None:
+                self.telemetry.emit("failed", step=failed_step,
+                                    reason=reason,
+                                    retries=self._retries)
+                self.telemetry.close()
+            raise RunFailedError(
+                f"run failed at root step {failed_step} after "
+                f"{self._retries} rollback retries: {reason}"
+            )
+        self._retries += 1
+        self.recoveries += 1
+        step, hierarchy, state = self._latest_loadable()
+        new_cfl = self.recovery.reduced_cfl(self.evolver.cfl)
+        self._install(hierarchy, state, cfl=new_cfl)
+        # drop checkpoints ahead of the rollback point: they belong to the
+        # abandoned trajectory and must never be restored from again
+        for s, npz, state_path in CheckpointPolicy.list_checkpoints(
+                self.run_dir):
+            if s > step:
+                for path in (npz, state_path):
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        pass
+        if self.telemetry is not None:
+            self.telemetry.emit("recovery", step=failed_step, reason=reason,
+                                rollback_step=step, cfl=new_cfl,
+                                attempt=self._retries)

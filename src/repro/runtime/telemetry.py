@@ -1,0 +1,172 @@
+"""Structured run telemetry: a JSONL event stream plus a monitor API.
+
+One record per root-level step (the cadence an operator actually follows a
+multi-week AMR run at), plus lifecycle / checkpoint / recovery events.
+Records are append-only JSON lines flushed per write, so ``tail -f`` — or
+``python -m repro tail`` — works on a live run, and a crash mid-line loses
+at most that line (the reader tolerates a torn final record).
+
+Step record schema (all numbers JSON-native)::
+
+    {"event": "step", "step": 12, "t": ..., "dt": ..., "a": ..., "z": ...,
+     "levels": [{"level": 0, "grids": 1, "cells": 4096}, ...],
+     "max_density": ..., "timers": {"hydro": 0.41, ...}, "wall": ...}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+TELEMETRY_NAME = "telemetry.jsonl"
+
+
+def telemetry_path(run_dir: str) -> str:
+    return os.path.join(run_dir, TELEMETRY_NAME)
+
+
+class TelemetryWriter:
+    """Append-only JSONL emitter with per-record flush."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._t0 = time.monotonic()
+
+    def emit(self, event: str, **payload) -> dict:
+        record = {"event": event,
+                  "wall": round(time.monotonic() - self._t0, 6)}
+        record.update(payload)
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+        return record
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def step_record(evolver, step: int, dt: float) -> dict:
+    """Build the per-root-step payload from live simulation objects."""
+    h = evolver.hierarchy
+    t = float(h.root.time)
+    a = evolver.clock.a_of(h.root.time)
+    record = {
+        "step": int(step),
+        "t": t,
+        "dt": float(dt),
+        "a": float(a),
+        "levels": [
+            {
+                "level": lvl,
+                "grids": len(grids),
+                "cells": int(sum(
+                    int(d0) * int(d1) * int(d2) for (d0, d1, d2) in
+                    (g.dims for g in grids)
+                )),
+            }
+            for lvl, grids in enumerate(h.levels) if grids
+        ],
+        "max_density": float(
+            max(g.field_view("density").max() for g in h.all_grids())
+        ),
+    }
+    if hasattr(evolver.clock, "redshift_of"):
+        record["z"] = float(evolver.clock.redshift_of(h.root.time))
+    if evolver.timers is not None:
+        record["timers"] = {
+            k: round(v, 6) for k, v in evolver.timers.fractions().items()
+        }
+    return record
+
+
+# ------------------------------------------------------------------ monitor
+def read_events(path: str) -> list[dict]:
+    """Parse a telemetry stream; a torn final line (crash) is tolerated."""
+    events: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.readlines()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # interrupted mid-write; expected after a crash
+            raise
+    return events
+
+
+def summarise(run_dir_or_path: str) -> dict:
+    """Digest of a run directory's telemetry for dashboards / `repro tail`."""
+    path = run_dir_or_path
+    if os.path.isdir(path):
+        path = telemetry_path(path)
+    events = read_events(path)
+    steps = [e for e in events if e.get("event") == "step"]
+    checkpoints = [e for e in events if e.get("event") == "checkpoint"]
+    recoveries = [e for e in events if e.get("event") == "recovery"]
+    out = {
+        "events": len(events),
+        "steps": len(steps),
+        "checkpoints": len(checkpoints),
+        "recoveries": len(recoveries),
+        "lifecycle": [e["event"] for e in events
+                      if e.get("event") in ("start", "resume", "finish",
+                                            "interrupted", "failed")],
+    }
+    if steps:
+        last = steps[-1]
+        out.update({
+            "t": last.get("t"),
+            "dt": last.get("dt"),
+            "a": last.get("a"),
+            "z": last.get("z"),
+            "max_density": last.get("max_density"),
+            "levels": len(last.get("levels", [])),
+            "grids": sum(l["grids"] for l in last.get("levels", [])),
+            "cells": sum(l["cells"] for l in last.get("levels", [])),
+            "wall": last.get("wall"),
+        })
+    return out
+
+
+def format_events(events: list[dict]) -> str:
+    """Human-readable rendering of telemetry records (newest last)."""
+    lines = []
+    for e in events:
+        kind = e.get("event", "?")
+        if kind == "step":
+            levels = e.get("levels", [])
+            grids = sum(l["grids"] for l in levels)
+            zbit = f" z={e['z']:.2f}" if "z" in e else ""
+            lines.append(
+                f"step {e.get('step', '?'):>6}  t={e.get('t', 0.0):.6g}  "
+                f"dt={e.get('dt', 0.0):.3g}{zbit}  levels={len(levels)}  "
+                f"grids={grids}  max_rho={e.get('max_density', 0.0):.4g}"
+            )
+        elif kind == "checkpoint":
+            lines.append(
+                f"checkpoint @ step {e.get('step', '?')} -> {e.get('path')}"
+            )
+        elif kind == "recovery":
+            lines.append(
+                f"RECOVERY @ step {e.get('step', '?')}: {e.get('reason')} "
+                f"(rolled back to step {e.get('rollback_step')}, "
+                f"cfl -> {e.get('cfl')})"
+            )
+        else:
+            extras = {k: v for k, v in e.items()
+                      if k not in ("event", "wall")}
+            lines.append(f"{kind}  {json.dumps(extras)}")
+    return "\n".join(lines)

@@ -126,6 +126,31 @@ class Simulation:
         self.evolver.advance_to(t_end)
         return self.summary()
 
+    def make_controller(self, run_dir: str, **opts):
+        """A fault-tolerant :class:`repro.runtime.RunController` for this sim.
+
+        The controller owns the advance loop: atomic rotated checkpoints,
+        bit-exact ``resume()``, watchdog rollback on non-finite state, and
+        JSONL telemetry in ``run_dir``.  Keyword options are forwarded
+        (``policy``, ``recovery``, ``watchdog``, ``pre_step``, ``config``).
+        """
+        from dataclasses import asdict
+
+        from repro.runtime import RunController
+
+        opts.setdefault(
+            "config", {"problem": "simulation", "kwargs": asdict(self.config)}
+        )
+        return RunController(self.evolver, run_dir, problem=self, **opts)
+
+    def run_controlled(self, t_end: float, run_dir: str,
+                       max_root_steps: int | None = None, **opts) -> dict:
+        """Like :meth:`run`, but under run control (checkpoint/recover)."""
+        controller = self.make_controller(run_dir, **opts)
+        out = controller.run(t_end, max_root_steps=max_root_steps)
+        out.update(self.summary())
+        return out
+
     def summary(self) -> dict:
         return {
             "time": float(self.hierarchy.root.time),

@@ -37,6 +37,47 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "n_grids" in out
 
+    def test_inspect_prints_hierarchy_wide_fields(self, tmp_path, capsys):
+        ck = str(tmp_path / "state.npz")
+        assert main(["collapse", "-n", "8", "--levels", "1", "--z-end", "97",
+                     "--max-steps", "2", "--no-chemistry",
+                     "--checkpoint", ck]) == 0
+        capsys.readouterr()
+        assert main(["inspect", ck]) == 0
+        out = capsys.readouterr().out
+        for field in ("deepest_level", "finest_dx", "total_cells", "sdr"):
+            assert field in out
+
+    def test_run_resume_tail(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        rc = main(["run", "-n", "8", "--levels", "1", "--z-end", "80",
+                   "--max-steps", "3", "--no-chemistry",
+                   "--telemetry", run_dir, "--checkpoint-every", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "status = max_steps" in out
+        # telemetry is valid JSONL with one step record per root step
+        import json
+
+        with open(f"{run_dir}/telemetry.jsonl") as fh:
+            events = [json.loads(line) for line in fh]
+        assert sum(e["event"] == "step" for e in events) == 3
+        assert any("timers" in e for e in events if e["event"] == "step")
+
+        assert main(["resume", "--dir", run_dir, "--max-steps", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "steps = 5" in out
+
+        assert main(["tail", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "step" in out and "resume" in out and "checkpoints" in out
+
+    def test_tail_missing_dir(self, tmp_path, capsys):
+        assert main(["tail", str(tmp_path / "nothing")]) == 1
+
+    def test_resume_missing_dir(self, tmp_path, capsys):
+        assert main(["resume", "--dir", str(tmp_path / "nothing")]) == 1
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.amr import Grid, Hierarchy
-from repro.io import checkpoint_info, load_hierarchy, save_hierarchy
+from repro.io import (
+    CheckpointError,
+    checkpoint_info,
+    load_hierarchy,
+    save_hierarchy,
+)
 from repro.nbody.particles import ParticleSet
 from repro.precision.doubledouble import DoubleDouble
 from repro.precision.position import PositionDD
@@ -80,6 +85,63 @@ class TestCheckpoint:
         assert info["grids_per_level"] == [1, 1]
         assert info["n_particles"] == 50
         assert info["time"] == 0.125
+
+    def test_info_reports_hierarchy_wide_state(self, populated_hierarchy,
+                                               tmp_path):
+        """deepest level / finest dx / total cells, not just the root."""
+        p = str(tmp_path / "dump.npz")
+        save_hierarchy(populated_hierarchy, p)
+        info = checkpoint_info(p)
+        assert info["deepest_level"] == 1
+        assert info["finest_dx"] == 1.0 / 16  # 8 root cells, refined once
+        assert info["total_cells"] == 8**3 + 8**3
+        assert info["sdr"] == 16.0
+        assert info["format_version"] == 1
+
+    def test_save_is_atomic(self, populated_hierarchy, tmp_path):
+        """No temp debris, and a crash mid-save preserves the old dump."""
+        p = str(tmp_path / "dump.npz")
+        save_hierarchy(populated_hierarchy, p)
+        assert sorted(x.name for x in tmp_path.iterdir()) == ["dump.npz"]
+        # simulate a torn in-progress rewrite: the .tmp never replaces p
+        with open(p + ".tmp", "wb") as fh:
+            fh.write(b"garbage from a crashed writer")
+        h2 = load_hierarchy(p)  # the published dump is untouched
+        assert h2.grids_per_level() == [1, 1]
+
+    def test_truncated_file_raises_checkpoint_error(
+            self, populated_hierarchy, tmp_path):
+        p = str(tmp_path / "dump.npz")
+        save_hierarchy(populated_hierarchy, p)
+        with open(p, "r+b") as fh:
+            fh.truncate(120)
+        with pytest.raises(CheckpointError):
+            load_hierarchy(p)
+        with pytest.raises(CheckpointError):
+            checkpoint_info(p)
+
+    def test_garbage_file_raises_checkpoint_error(self, tmp_path):
+        p = str(tmp_path / "junk.npz")
+        with open(p, "wb") as fh:
+            fh.write(b"this is not a zip archive at all")
+        with pytest.raises(CheckpointError):
+            load_hierarchy(p)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_hierarchy(str(tmp_path / "nope.npz"))
+
+    def test_io_timer_section(self, populated_hierarchy, tmp_path):
+        from repro.perf import ComponentTimers
+        from repro.perf.timers import SECTIONS
+
+        assert "io" in SECTIONS
+        timers = ComponentTimers()
+        p = str(tmp_path / "dump.npz")
+        save_hierarchy(populated_hierarchy, p, timers=timers)
+        load_hierarchy(p, timers=timers)
+        assert timers.totals["io"] > 0.0
+        assert timers.counts["io"] == 2
 
     def test_restart_continues_evolution(self, tmp_path):
         """Save mid-run, restore, continue: the physics must keep working."""
