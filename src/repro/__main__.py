@@ -35,6 +35,7 @@ def cmd_info(args) -> int:
         ("repro.cosmology", "Friedmann, P(k), Zel'dovich ICs, top-hat"),
         ("repro.precision", "double-double extended precision"),
         ("repro.parallel", "simulated cluster: sterile objects, pipelining"),
+        ("repro.exec", "execution engine: per-grid task dispatch, shm workers"),
         ("repro.analysis", "profiles, zooms, halos, Jacques"),
         ("repro.perf", "timers, hierarchy stats, op counting"),
         ("repro.io", "checkpoint/restart"),
@@ -123,6 +124,7 @@ def cmd_run(args) -> int:
     problem = _collapse_problem(
         n_root=args.n, max_level=args.levels, amplitude_boost=4.0,
         mass_refine_factor=8.0, with_chemistry=not args.no_chemistry,
+        exec_backend=args.exec_backend, workers=args.workers,
     )
     problem.initial_rebuild()
     controller = problem.make_controller(
@@ -147,8 +149,15 @@ def cmd_resume(args) -> int:
     cfg = state.config or {}
     policy = CheckpointPolicy(every_steps=args.checkpoint_every,
                               keep=args.keep)
+    # the exec backend does not affect results (bitwise identical), so a
+    # resume may freely override what the original run used
+    exec_overrides = {}
+    if args.exec_backend is not None:
+        exec_overrides["exec_backend"] = args.exec_backend
+    if args.workers is not None:
+        exec_overrides["workers"] = args.workers
     if cfg.get("problem") == "collapse":
-        problem = _collapse_problem(**cfg["kwargs"])
+        problem = _collapse_problem(**{**cfg["kwargs"], **exec_overrides})
         controller = problem.make_controller(
             args.dir, z_end=cfg.get("z_end"), policy=policy)
     elif cfg.get("problem") == "simulation":
@@ -156,6 +165,7 @@ def cmd_resume(args) -> int:
 
         kwargs = dict(cfg["kwargs"])
         kwargs["advected"] = tuple(kwargs.get("advected", ()))
+        kwargs.update(exec_overrides)
         sim = Simulation(SimulationConfig(**kwargs))
         controller = sim.make_controller(args.dir, policy=policy)
     else:
@@ -235,6 +245,13 @@ def main(argv=None) -> int:
                    help="root steps between checkpoints")
     p.add_argument("--keep", type=int, default=3,
                    help="rotated checkpoints to retain")
+    p.add_argument("--exec-backend", default=None,
+                   choices=["serial", "thread", "process"],
+                   help="per-grid execution backend "
+                        "(default: REPRO_EXEC_BACKEND or serial)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker count for parallel backends "
+                        "(default: REPRO_WORKERS or CPU count)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -244,6 +261,12 @@ def main(argv=None) -> int:
                    help="override the stored root-step budget")
     p.add_argument("--checkpoint-every", type=int, default=5)
     p.add_argument("--keep", type=int, default=3)
+    p.add_argument("--exec-backend", default=None,
+                   choices=["serial", "thread", "process"],
+                   help="override the execution backend for the resumed run "
+                        "(results are backend-independent)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="override the worker count for the resumed run")
     p.set_defaults(fn=cmd_resume)
 
     p = sub.add_parser("tail", help="summarise a run's telemetry stream")

@@ -33,6 +33,7 @@ from repro.amr.boundary import set_boundary_values
 from repro.amr.flux_correction import accumulate_boundary_fluxes, correct_level
 from repro.amr.projection import project_level
 from repro.amr.rebuild import rebuild_hierarchy
+from repro.exec import ChemistryTask, ExecutionEngine, GravityAccelTask, HydroTask
 from repro.hydro.timestep import accel_timestep, expansion_timestep, hydro_timestep, particle_timestep
 from repro.nbody.cic import cic_deposit
 from repro.precision.doubledouble import DoubleDouble
@@ -108,12 +109,18 @@ class HierarchyEvolver:
         are invoked.
     timers:
         Optional :class:`repro.perf.timers.ComponentTimers`.
+    exec_config:
+        Optional :class:`repro.exec.ExecConfig` (or dict) selecting the
+        execution backend for independent per-grid work; None resolves
+        from ``REPRO_EXEC_BACKEND`` / ``REPRO_WORKERS`` (default: serial).
+        Results are bitwise identical across backends and worker counts.
     """
 
     def __init__(self, hierarchy, solver, gravity=None, chemistry=None,
                  criteria=None, clock=None, units=None, cfl: float = 0.4,
                  max_level: int | None = None, rebuild_every: int = 1,
-                 stats=None, timers=None, jeans_floor_cells: float = 0.0):
+                 stats=None, timers=None, jeans_floor_cells: float = 0.0,
+                 exec_config=None):
         self.hierarchy = hierarchy
         self.solver = solver
         self.gravity = gravity
@@ -132,6 +139,9 @@ class HierarchyEvolver:
         #: fragmentation once the depth cap stops the paper's "refine
         #: forever" strategy.
         self.jeans_floor_cells = float(jeans_floor_cells)
+        #: execution engine for independent per-grid work (hydro sweeps,
+        #: chemistry advances, gravity accelerations); see repro.exec
+        self.engine = ExecutionEngine(exec_config)
         self.step_counter = defaultdict(int)
         if timers is not None:
             # let the hierarchy attribute its cache rebuilds to "topology"
@@ -196,6 +206,7 @@ class HierarchyEvolver:
         )
         if not bool(h.root.time < target):
             return None
+        self.engine.begin_root_step()
         self._timed("boundary", set_boundary_values, h, 0)
         return self._step_level(0, target)
 
@@ -229,8 +240,11 @@ class HierarchyEvolver:
         accel = {}
         if self.gravity is not None:
             self._timed("gravity", self.gravity.solve_level, h, level, a)
-            for g in grids:
-                acc = self.gravity.acceleration(g, a)
+            gravity_tasks = [GravityAccelTask(g, self.gravity, a)
+                             for g in grids]
+            self.engine.run(gravity_tasks, level=level, timers=self.timers)
+            for g, task in zip(grids, gravity_tasks):
+                acc = task.result
                 accel[g.grid_id] = acc
                 dt = min(
                     dt,
@@ -242,25 +256,35 @@ class HierarchyEvolver:
         a_mid = self.clock.a_of(float(time_now) + 0.5 * dt)
         adot_mid = self.clock.adot_of(float(time_now) + 0.5 * dt)
 
+        # per-grid work between here and the next boundary exchange is
+        # independent (no task reads another grid), so the engine may run
+        # it on any backend/worker count with bitwise-identical results;
+        # all cross-grid effects (flux accumulation, clock updates) are
+        # applied below in deterministic grid order
         permute = self.step_counter[level] % 3
         for g in grids:
             g.save_old_state()
-            fluxes = self._timed(
-                "hydro", self.solver.step, g.fields, g.dx, dt,
-                a_mid, adot_mid, accel.get(g.grid_id), permute,
-            )
-            g.last_fluxes = fluxes
+        hydro_tasks = [
+            HydroTask(g, self.solver, dt, a_mid, adot_mid,
+                      accel.get(g.grid_id), permute)
+            for g in grids
+        ]
+        self.engine.run(hydro_tasks, level=level, timers=self.timers)
+        for g, task in zip(grids, hydro_tasks):
+            g.last_fluxes = task.result
             if level > 0:
-                accumulate_boundary_fluxes(g, fluxes)
+                accumulate_boundary_fluxes(g, task.result)
             g.time = DoubleDouble(g.time + dt)
 
         self._timed("nbody", self._advance_particles, level, dt, a_mid,
                     adot_mid, accel)
 
         if self.chemistry is not None and self.units is not None:
-            for g in grids:
-                self._timed("chemistry", self.chemistry.advance_fields,
-                            g.fields, dt, self.units, a_mid)
+            chemistry_tasks = [
+                ChemistryTask(g, self.chemistry, dt, self.units, a_mid)
+                for g in grids
+            ]
+            self.engine.run(chemistry_tasks, level=level, timers=self.timers)
 
         if (
             self.jeans_floor_cells > 0.0

@@ -145,9 +145,13 @@ class ChemistryNetwork:
             he0 = n["HeI"] + n["HeII"] + n["HeIII"]
             d0 = n["DI"] + n["DII"] + n["HDI"]
 
+        # local substep counter: ``advance`` may run concurrently on many
+        # grids under the execution engine's thread backend, so the loop
+        # state must not live on the (shared) network object; the final
+        # count is still published as the ``last_substeps`` diagnostic
         t_done = 0.0
-        self.last_substeps = 0
-        while t_done < dt and self.last_substeps < self.max_substeps:
+        substeps = 0
+        while t_done < dt and substeps < self.max_substeps:
             T = self.temperature(n, e, rho)
             lam = cool_mod.cooling_rate(n, T, z)  # erg/s/cm^3
             edot = np.abs(lam) / np.maximum(rho, 1e-300)
@@ -160,18 +164,19 @@ class ChemistryNetwork:
             t_elec = np.min(np.where(ne_dot > 0, ne / np.maximum(ne_dot, 1e-300), np.inf))
             limit = min(t_cool, t_elec)
             dt_sub = min(dt - t_done, max(self.safety * limit, dt / self.max_substeps))
-            if self.last_substeps == self.max_substeps - 1:
+            if substeps == self.max_substeps - 1:
                 dt_sub = dt - t_done
             self._substep(n, e, rho, dt_sub, z)
             if self.renormalise:
                 self._renormalise(n, h0, he0, d0)
             t_done += dt_sub
-            self.last_substeps += 1
+            substeps += 1
         if t_done < dt:
             self._substep(n, e, rho, dt - t_done, z)
             if self.renormalise:
                 self._renormalise(n, h0, he0, d0)
-            self.last_substeps += 1
+            substeps += 1
+        self.last_substeps = substeps
         return n, e
 
     @staticmethod

@@ -1,0 +1,38 @@
+"""Task-based shared-memory execution engine for per-grid work.
+
+The paper's parallel design (Sec. 3.4) distributes the many small
+same-level grids over workers; this package makes that real for the live
+code: :class:`ExecutionEngine` dispatches independent per-grid tasks
+(hydro sweeps, chemistry advances, gravity accelerations) to a pool of
+workers — ``serial`` (today's exact path), ``thread`` (zero-copy, NumPy
+releases the GIL) or ``process`` (arrays staged through POSIX shared
+memory) — while the scheduler reuses the Sec. 3.4 distribution strategies
+fed by *measured* per-grid timings.  Results are bitwise identical across
+backends and worker counts.  See ``docs/EXECUTOR.md``.
+"""
+
+from repro.exec.calibration import WorkCalibrator
+from repro.exec.config import BACKENDS, ENV_BACKEND, ENV_WORKERS, ExecConfig
+from repro.exec.engine import (
+    ExecReport,
+    ExecutionEngine,
+    StepExecStats,
+    shutdown_pools,
+)
+from repro.exec.tasks import ChemistryTask, GravityAccelTask, GridTask, HydroTask
+
+__all__ = [
+    "BACKENDS",
+    "ENV_BACKEND",
+    "ENV_WORKERS",
+    "ChemistryTask",
+    "ExecConfig",
+    "ExecReport",
+    "ExecutionEngine",
+    "GravityAccelTask",
+    "GridTask",
+    "HydroTask",
+    "StepExecStats",
+    "WorkCalibrator",
+    "shutdown_pools",
+]

@@ -1,0 +1,94 @@
+"""Worker-side kernels for the process backend.
+
+Everything here must be importable at module level (the pool pickles only
+the function reference plus small metadata).  The bulk data travels through
+the shared-memory block named in the payload: the kernel maps ndarray views
+over it, computes **in place**, and returns only small picklable results
+(the hydro fluxes are fresh arrays produced by the sweep, never views of
+the shared block).
+
+Determinism: each kernel runs the *same* NumPy code the serial path runs,
+on a bit-exact copy of the same inputs, so the outputs are bitwise
+identical to serial execution regardless of worker count or scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+import numpy as np
+
+from repro.exec import shm as shm_codec
+from repro.hydro.state import FieldSet, META_KEY
+
+
+def _build_fields(views: dict, meta: dict) -> FieldSet:
+    fields = FieldSet()
+    fields[META_KEY] = list(meta["advected"])
+    for name in meta["field_names"]:
+        fields[name] = views[f"f:{name}"]
+    return fields
+
+
+def _sync_fields(fields: FieldSet, views: dict, meta: dict) -> None:
+    """Write rebound field arrays back into the shared block.
+
+    Solver/network code mostly updates in place, but a few updates rebind
+    dict keys to fresh arrays (e.g. the dual-energy sync); those values
+    must be copied into the shared views before the parent reads them.
+    """
+    for name in meta["field_names"]:
+        view = views[f"f:{name}"]
+        if fields[name] is not view:
+            view[...] = fields[name]
+
+
+def _hydro_kernel(views: dict, meta: dict):
+    fields = _build_fields(views, meta)
+    accel = views.get("accel") if meta["has_accel"] else None
+    fluxes = meta["solver"].step(
+        fields, meta["dx"], meta["dt"], meta["a"], meta["adot"], accel,
+        meta["permute"],
+    )
+    _sync_fields(fields, views, meta)
+    # flux arrays are freshly computed (never shared-block views) but make
+    # them contiguous so the return pickle is a straight memcpy
+    return {
+        axis: {name: np.ascontiguousarray(arr) for name, arr in per.items()}
+        for axis, per in fluxes.fluxes.items()
+    }
+
+
+def _chemistry_kernel(views: dict, meta: dict):
+    fields = _build_fields(views, meta)
+    meta["network"].advance_fields(fields, meta["dt"], meta["units"], meta["a"])
+    _sync_fields(fields, views, meta)
+    return None
+
+
+def _gravity_kernel(views: dict, meta: dict):
+    phi = views["phi"]
+    acc = views["acc"]
+    for axis in range(3):
+        acc[axis] = -np.gradient(phi, meta["dx"], axis=axis) / meta["a"]
+    return None
+
+
+KERNELS = {
+    "hydro": _hydro_kernel,
+    "chemistry": _chemistry_kernel,
+    "gravity": _gravity_kernel,
+}
+
+
+def run_packed_task(kernel: str, shm_name: str, layout, meta: dict) -> dict:
+    """Pool entry point: map the block, run the kernel, report timing."""
+    t0 = perf_counter()
+    block, views = shm_codec.attach(shm_name, layout)
+    try:
+        ret = KERNELS[kernel](views, meta)
+    finally:
+        del views
+        block.close()
+    return {"pid": os.getpid(), "seconds": perf_counter() - t0, "ret": ret}

@@ -1,0 +1,80 @@
+"""POSIX shared-memory staging for the process backend.
+
+Grid field arrays are staged through one :class:`SharedMemory` block per
+task: the parent packs the inputs (one copy), the worker maps the block and
+runs the kernel *in place* on ndarray views of the buffer (zero copies, no
+pickling of bulk data), and the parent copies the mutated arrays back into
+the live grid (one copy).  Only small scalars and the kernel spec travel
+over the pool's pickle pipe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from multiprocessing import shared_memory
+
+#: layout entry: (name, shape, dtype.str, byte offset)
+Layout = list
+
+
+def pack(arrays: dict, outputs: dict | None = None
+         ) -> tuple[shared_memory.SharedMemory, Layout]:
+    """Copy named input arrays into a fresh shared-memory block.
+
+    ``outputs`` reserves additional *uninitialised* space in the same block
+    for arrays the kernel will produce (``{name: (shape, dtype)}``), so
+    results come back without any pickling either.  Returns the block
+    (owned by the caller: close+unlink when done) and the layout needed to
+    map views on either side.
+    """
+    layout: Layout = []
+    offset = 0
+    for name, arr in arrays.items():
+        arr = np.asarray(arr)
+        layout.append((name, arr.shape, arr.dtype.str, offset))
+        offset += int(arr.nbytes)
+    for name, (shape, dtype) in (outputs or {}).items():
+        dt = np.dtype(dtype)
+        layout.append((name, tuple(int(s) for s in shape), dt.str, offset))
+        offset += int(np.prod(shape)) * dt.itemsize
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for (name, shape, dtype, off), arr in zip(layout, arrays.values()):
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+        view[...] = arr
+    return shm, layout
+
+
+def attach(name: str, layout: Layout) -> tuple[shared_memory.SharedMemory, dict]:
+    """Map views over an existing block (worker side, or parent readback).
+
+    The caller must drop every view before ``shm.close()`` — a live ndarray
+    holding the buffer makes close() raise BufferError.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    views = {
+        n: np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+        for n, shape, dtype, off in layout
+    }
+    return shm, views
+
+
+def views_of(shm: shared_memory.SharedMemory, layout: Layout) -> dict:
+    """Views over a block the caller already owns (parent readback)."""
+    return {
+        n: np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+        for n, shape, dtype, off in layout
+    }
+
+
+def release(shm: shared_memory.SharedMemory, unlink: bool = False) -> None:
+    """Close (and optionally unlink) a block, tolerating double release."""
+    try:
+        shm.close()
+    except BufferError:
+        # a view is still alive; the caller leaked it — surface loudly
+        raise
+    if unlink:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass

@@ -15,6 +15,14 @@ Strategies:
   load-balancing work [22] refines).
 * ``level_blocks``   — contiguous blocks per level (locality-flavoured:
   neighbours tend to share ranks, reducing off-rank boundary traffic).
+
+All strategies accept any object with ``grid_id``, ``level``, ``n_cells``
+(and ``start_index`` for ``level_blocks``) — sterile grids from the virtual
+cluster, or live :mod:`repro.exec` grid tasks.  A ``cost_model`` (anything
+with ``cost(obj) -> float | None``, e.g.
+:class:`repro.exec.calibration.WorkCalibrator`) replaces the analytic
+cells-times-substeps estimate with *measured* per-grid wall times, closing
+the loop between the virtual-cluster model and real execution.
 """
 
 from __future__ import annotations
@@ -25,18 +33,24 @@ import numpy as np
 WORK_PER_CELL = 1.0
 
 
-def grid_work(sterile, refine_factor: int = 2) -> float:
+def grid_work(sterile, refine_factor: int = 2, cost_model=None) -> float:
     """Work estimate for one grid over a *root* timestep.
 
     A level-l grid substeps ~r^l times per root step, so its share of the
     total work is cells * r^level — the same estimate behind the paper's
-    Fig. 5 work-per-level panel.
+    Fig. 5 work-per-level panel.  When a ``cost_model`` is supplied and has
+    a measurement for this grid, its (seconds-based) estimate is used
+    instead of the analytic one.
     """
+    if cost_model is not None:
+        w = cost_model.cost(sterile)
+        if w is not None:
+            return float(w)
     return WORK_PER_CELL * sterile.n_cells * refine_factor**sterile.level
 
 
 def balance_grids(steriles, n_ranks: int, strategy: str = "greedy",
-                  refine_factor: int = 2) -> dict[int, int]:
+                  refine_factor: int = 2, cost_model=None) -> dict[int, int]:
     """Assign grids to ranks; returns {grid_id: rank}."""
     steriles = list(steriles)
     if strategy == "round_robin":
@@ -45,11 +59,13 @@ def balance_grids(steriles, n_ranks: int, strategy: str = "greedy",
     if strategy == "greedy":
         loads = np.zeros(n_ranks)
         assignment = {}
-        order = sorted(steriles, key=lambda s: -grid_work(s, refine_factor))
+        order = sorted(
+            steriles, key=lambda s: -grid_work(s, refine_factor, cost_model)
+        )
         for s in order:
             rank = int(np.argmin(loads))
             assignment[s.grid_id] = rank
-            loads[rank] += grid_work(s, refine_factor)
+            loads[rank] += grid_work(s, refine_factor, cost_model)
         return assignment
 
     if strategy == "level_blocks":
@@ -59,7 +75,9 @@ def balance_grids(steriles, n_ranks: int, strategy: str = "greedy",
             by_level.setdefault(s.level, []).append(s)
         for level, grids in by_level.items():
             grids = sorted(grids, key=lambda s: s.start_index)
-            work = np.array([grid_work(s, refine_factor) for s in grids])
+            work = np.array(
+                [grid_work(s, refine_factor, cost_model) for s in grids]
+            )
             targets = np.cumsum(work) / max(work.sum(), 1e-300) * n_ranks
             for s, t in zip(grids, targets):
                 assignment[s.grid_id] = min(int(t), n_ranks - 1)
@@ -69,11 +87,11 @@ def balance_grids(steriles, n_ranks: int, strategy: str = "greedy",
 
 
 def load_imbalance(steriles, assignment: dict[int, int], n_ranks: int,
-                   refine_factor: int = 2) -> float:
+                   refine_factor: int = 2, cost_model=None) -> float:
     """max(rank load) / mean(rank load); 1.0 is perfect balance."""
     loads = np.zeros(n_ranks)
     for s in steriles:
-        loads[assignment[s.grid_id]] += grid_work(s, refine_factor)
+        loads[assignment[s.grid_id]] += grid_work(s, refine_factor, cost_model)
     mean = loads.mean()
     if mean <= 0:
         return 1.0
@@ -81,6 +99,7 @@ def load_imbalance(steriles, assignment: dict[int, int], n_ranks: int,
 
 
 def parallel_efficiency(steriles, assignment: dict[int, int], n_ranks: int,
-                        refine_factor: int = 2) -> float:
+                        refine_factor: int = 2, cost_model=None) -> float:
     """Fraction of ideal speedup achieved given the load distribution."""
-    return 1.0 / load_imbalance(steriles, assignment, n_ranks, refine_factor)
+    return 1.0 / load_imbalance(steriles, assignment, n_ranks, refine_factor,
+                                cost_model)

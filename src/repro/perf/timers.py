@@ -12,7 +12,10 @@ from contextlib import contextmanager
 #: structural epoch) — the cost Enzo's boundary lists amortise; a separate
 #: section lets the component table attribute it instead of folding it
 #: into "other overhead".  "io" is checkpoint save/load — material once the
-#: run-control layer checkpoints every few root steps.
+#: run-control layer checkpoints every few root steps.  "exec" is the
+#: execution engine's scheduling + dispatch overhead (task planning, data
+#: staging, worker synchronisation) — everything the engine spends that is
+#: not physics-kernel time; see :mod:`repro.exec`.
 SECTIONS = (
     "hydro",
     "gravity",
@@ -24,6 +27,7 @@ SECTIONS = (
     "projection",
     "topology",
     "io",
+    "exec",
 )
 
 
@@ -59,6 +63,19 @@ class ComponentTimers:
             if self._stack:
                 parent, _ = self._stack[-1]
                 self._stack[-1] = (parent, end)
+
+    def add_seconds(self, name: str, seconds: float, count: int = 1) -> None:
+        """Attribute externally-measured seconds to a section.
+
+        The parallel execution backends measure kernel time inside their
+        workers (the ``section`` context manager is not thread-safe) and
+        report it here.  Note that worker-measured seconds are CPU-seconds:
+        with more than one worker the per-component fractions can sum to
+        more than 1 while "exec" (dispatch overhead) stays wall-based.
+        """
+        if seconds > 0.0:
+            self.totals[name] += float(seconds)
+        self.counts[name] += int(count)
 
     @property
     def wall_time(self) -> float:

@@ -71,7 +71,8 @@ class PrimordialCollapse:
                  with_dark_matter: bool = True, mass_refine_factor: float = 4.0,
                  region_left=(0.25, 0.25, 0.25), region_right=(0.75, 0.75, 0.75),
                  timers: ComponentTimers | None = None, cfl: float = 0.4,
-                 max_dims: int = 16):
+                 max_dims: int = 16, exec_backend: str | None = None,
+                 workers: int | None = None):
         #: constructor spec (JSON-serialisable) — stored in every RunState
         #: so ``python -m repro resume`` can rebuild this exact problem
         self.spec = {
@@ -86,6 +87,8 @@ class PrimordialCollapse:
             "region_left": list(region_left),
             "region_right": list(region_right),
             "cfl": float(cfl), "max_dims": int(max_dims),
+            "exec_backend": exec_backend,
+            "workers": None if workers is None else int(workers),
         }
         self.params = STANDARD_CDM.with_(sigma8=STANDARD_CDM.sigma8 * amplitude_boost)
         self.units = CodeUnits.for_cosmology(self.params, box_kpc, z_init)
@@ -140,12 +143,19 @@ class PrimordialCollapse:
             a=self.units.a_initial,
             max_level=self.max_level,
         )
+        exec_config = None
+        if exec_backend is not None or workers is not None:
+            from repro.exec import ExecConfig
+
+            exec_config = ExecConfig.resolve(
+                backend=exec_backend, workers=workers
+            )
         self.evolver = HierarchyEvolver(
             self.hierarchy, PPMSolver(), gravity=self.gravity,
             chemistry=self.chemistry, criteria=self.criteria,
             clock=self.clock, units=self.units, cfl=cfl,
             max_level=self.max_level, stats=self.stats, timers=timers,
-            jeans_floor_cells=4.0,
+            jeans_floor_cells=4.0, exec_config=exec_config,
         )
         self._max_dims = max_dims
         self.snapshots: list[dict] = []

@@ -45,7 +45,7 @@ class SphereCollapse:
                  max_level: int = 4, g_code: float = 1.0,
                  refine_overdensity: float | None = None,
                  jeans_number: float | None = None, units=None,
-                 max_dims: int = 16):
+                 max_dims: int = 16, exec_config=None):
         self.n_root = int(n_root)
         self.max_level = int(max_level)
         self.g_code = float(g_code)
@@ -83,6 +83,7 @@ class SphereCollapse:
             self.hierarchy, PPMSolver(), gravity=self.gravity,
             criteria=self.criteria, cfl=0.3, max_level=self.max_level,
             stats=self.stats, jeans_floor_cells=4.0,
+            exec_config=exec_config,
         )
         rebuild_hierarchy(self.hierarchy, 1, self.criteria,
                           max_level=self.max_level, max_dims=self.max_dims)

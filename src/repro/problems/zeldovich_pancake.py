@@ -98,16 +98,22 @@ class ZeldovichPancake:
         return q
 
     # --- run -------------------------------------------------------------------------
-    def run(self, z_end: float = 10.0, cfl: float = 0.3) -> dict:
-        """Evolve to z_end (must stay before the caustic for the comparison)."""
+    def run(self, z_end: float = 10.0, cfl: float = 0.3,
+            exec_config=None) -> dict:
+        """Evolve to z_end (must stay before the caustic for the comparison).
+
+        ``exec_config`` selects the per-grid execution backend (see
+        :mod:`repro.exec`); results are bitwise identical across backends.
+        """
         clock = CosmologyClock(self.friedmann, self.units)
         grav = HierarchyGravity(
             g_code=self.units.gravity_constant_code, mean_density=1.0
         )
         ev = HierarchyEvolver(
             self.hierarchy, PPMSolver(), gravity=grav, clock=clock,
-            units=self.units, cfl=cfl,
+            units=self.units, cfl=cfl, exec_config=exec_config,
         )
+        self.evolver = ev
         a_end = 1.0 / (1.0 + z_end)
         t_end_cgs = float(self.friedmann.time_of_a(a_end))
         t_end_code = (t_end_cgs - clock.t0_cgs) / self.units.time_unit

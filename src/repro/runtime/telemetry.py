@@ -10,7 +10,16 @@ Step record schema (all numbers JSON-native)::
 
     {"event": "step", "step": 12, "t": ..., "dt": ..., "a": ..., "z": ...,
      "levels": [{"level": 0, "grids": 1, "cells": 4096}, ...],
-     "max_density": ..., "timers": {"hydro": 0.41, ...}, "wall": ...}
+     "max_density": ..., "timers": {"hydro": 0.41, ...},
+     "exec": {"backend": "thread", "workers": 4, "dispatches": 12,
+              "tasks": 310, "overhead": 0.004, "utilisation": 0.87,
+              "imbalance": {"0": 1.0, "1": 1.18}},
+     "wall": ...}
+
+The ``exec`` block comes from the execution engine (:mod:`repro.exec`):
+per-root-step dispatch counts, scheduling/dispatch overhead seconds,
+worker utilisation, and the per-level load-imbalance ratio (max/mean
+worker busy time; 1.0 is perfect balance).
 """
 
 from __future__ import annotations
@@ -81,6 +90,9 @@ def step_record(evolver, step: int, dt: float) -> dict:
     }
     if hasattr(evolver.clock, "redshift_of"):
         record["z"] = float(evolver.clock.redshift_of(h.root.time))
+    engine = getattr(evolver, "engine", None)
+    if engine is not None:
+        record["exec"] = engine.step_snapshot()
     if evolver.timers is not None:
         record["timers"] = {
             k: round(v, 6) for k, v in evolver.timers.fractions().items()

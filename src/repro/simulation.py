@@ -37,6 +37,10 @@ class SimulationConfig:
     jeans_number: float | None = None
     advected: tuple = ()
     max_grid_dims: int = 16
+    #: execution backend for per-grid work ('serial' | 'thread' | 'process');
+    #: None resolves from REPRO_EXEC_BACKEND / REPRO_WORKERS (see repro.exec)
+    exec_backend: str | None = None
+    workers: int | None = None
 
 
 class Simulation:
@@ -83,10 +87,17 @@ class Simulation:
                 units=units,
                 max_level=c.max_level,
             )
+        exec_config = None
+        if c.exec_backend is not None or c.workers is not None:
+            from repro.exec import ExecConfig
+
+            exec_config = ExecConfig.resolve(
+                backend=c.exec_backend, workers=c.workers
+            )
         self.evolver = HierarchyEvolver(
             self.hierarchy, solver, gravity=self.gravity, criteria=self.criteria,
             clock=clock, units=units, cfl=c.cfl, max_level=c.max_level,
-            stats=self.stats, timers=self.timers,
+            stats=self.stats, timers=self.timers, exec_config=exec_config,
         )
 
     # ----------------------------------------------------------------- setup

@@ -233,7 +233,13 @@ class TestTelemetry:
             assert e["a"] == pytest.approx(1.0)  # static clock
             assert sum(l["grids"] for l in e["levels"]) >= 1
             assert e["max_density"] > 1.0
-            assert abs(sum(e["timers"].values()) - 1.0) < 1e-4
+            # serial fractions partition wall time exactly; parallel
+            # backends attribute CPU-seconds summed across workers, so
+            # their fractions may legitimately exceed 1 (see EXECUTOR.md)
+            if e.get("exec", {}).get("backend", "serial") == "serial":
+                assert abs(sum(e["timers"].values()) - 1.0) < 1e-4
+            else:
+                assert sum(e["timers"].values()) >= 1.0 - 1e-4
             assert "io" in e["timers"]  # checkpoint cost is attributed
 
     def test_every_line_is_valid_json(self, tmp_path):
