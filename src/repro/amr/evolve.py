@@ -33,6 +33,7 @@ from repro.amr.boundary import set_boundary_values
 from repro.amr.flux_correction import accumulate_boundary_fluxes, correct_level
 from repro.amr.projection import project_level
 from repro.amr.rebuild import rebuild_hierarchy
+from repro.chemistry.network import ChemistryStepStats
 from repro.exec import ChemistryTask, ExecutionEngine, GravityAccelTask, HydroTask
 from repro.hydro.timestep import accel_timestep, expansion_timestep, hydro_timestep, particle_timestep
 from repro.nbody.cic import cic_deposit
@@ -142,6 +143,9 @@ class HierarchyEvolver:
         #: execution engine for independent per-grid work (hydro sweeps,
         #: chemistry advances, gravity accelerations); see repro.exec
         self.engine = ExecutionEngine(exec_config)
+        #: per-root-step aggregate of the chemistry integrator diagnostics
+        #: (substep counts, active-set occupancy); snapshotted by telemetry
+        self.chem_stats = ChemistryStepStats()
         self.step_counter = defaultdict(int)
         if timers is not None:
             # let the hierarchy attribute its cache rebuilds to "topology"
@@ -207,6 +211,7 @@ class HierarchyEvolver:
         if not bool(h.root.time < target):
             return None
         self.engine.begin_root_step()
+        self.chem_stats.reset()
         self._timed("boundary", set_boundary_values, h, 0)
         return self._step_level(0, target)
 
@@ -285,6 +290,18 @@ class HierarchyEvolver:
                 for g in grids
             ]
             self.engine.run(chemistry_tasks, level=level, timers=self.timers)
+            # aggregate integrator diagnostics serially after the engine
+            # joins — identical result on every backend / worker count
+            for task in chemistry_tasks:
+                self.chem_stats.absorb(task.result)
+            if self.timers is not None:
+                snap = self.chem_stats
+                self.timers.add_stat("chemistry", "substeps", snap.substeps_total,
+                                     mode="set")
+                self.timers.add_stat("chemistry", "max_substeps",
+                                     snap.substeps_max, mode="max")
+                self.timers.add_stat("chemistry", "active_fraction",
+                                     snap.active_fraction_mean, mode="set")
 
         if (
             self.jeans_floor_cells > 0.0

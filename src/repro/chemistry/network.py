@@ -32,6 +32,15 @@ from repro.chemistry.species import SPECIES, SPECIES_NAMES, electron_density
 #: H2 binding energy (erg).
 H2_BINDING = 4.48 * const.ELECTRON_VOLT
 
+#: shape of the per-call integrator diagnostics (``last_stats``).
+_ZERO_STATS = {
+    "cells": 0,
+    "substeps_total": 0,
+    "substeps_max": 0,
+    "iterations": 0,
+    "active_fraction_mean": 0.0,
+}
+
 
 def primordial_initial_fractions(
     x_e: float = 2e-4, f_h2: float = 2e-6
@@ -109,6 +118,7 @@ class ChemistryNetwork:
         self.formation_heating = formation_heating
         self.renormalise = renormalise
         self.last_substeps = 0
+        self.last_stats: dict = dict(_ZERO_STATS)
 
     # ----------------------------------------------------------------- helpers
     @staticmethod
@@ -131,59 +141,117 @@ class ChemistryNetwork:
                 dt: float, z: float = 0.0):
         """Advance number densities (cm^-3) and specific energy (erg/g) by dt (s).
 
-        Arrays may be any (matching) shape; everything is elementwise.
-        Returns the updated (n, e_specific); inputs are not mutated.
+        Arrays may be any (matching, broadcastable) shape; everything is
+        elementwise.  Returns the updated (n, e_specific); inputs are not
+        mutated.
+
+        Active-set integration: the grid is flattened and every cell carries
+        its own elapsed time and its own ``dt_sub`` from its *local* cooling
+        and electron timescales (the Anninos et al. controls), instead of the
+        single grid-global minimum that forced the whole grid to subcycle at
+        the worst cell's pace.  After each substep the active index set is
+        compacted so finished cells are never touched again; each iteration
+        evaluates the rate and cooling coefficients exactly once (one shared
+        table pass) for the cells still in flight.  Because every cell's
+        trajectory depends only on its own state, results are bitwise
+        identical to advancing each cell on its own.
         """
-        n = {s: np.array(n[s], dtype=float, copy=True) for s in SPECIES_NAMES}
-        e = np.array(e_specific, dtype=float, copy=True)
-        rho = np.asarray(rho, dtype=float)
+        arrs = {s: np.asarray(n[s], dtype=float) for s in SPECIES_NAMES}
+        e_in = np.asarray(e_specific, dtype=float)
+        rho_in = np.asarray(rho, dtype=float)
+        shape = np.broadcast_shapes(
+            e_in.shape, rho_in.shape, *(a.shape for a in arrs.values())
+        )
+
+        def _flat(a):
+            # writable, contiguous 1-D copy (broadcast_to returns a
+            # read-only view, hence the explicit np.array copy)
+            return np.array(np.broadcast_to(a, shape)).reshape(-1)
+
+        nf = {s: _flat(arrs[s]) for s in SPECIES_NAMES}
+        ef = _flat(e_in)
+        rf = _flat(rho_in)
+        n_cells = ef.size
+        dt = float(dt)
         if self.renormalise:
             # conserved nuclei budgets (the sequential backward-Euler update
             # is only conservative to O(dt^2 * rate); Enzo renormalises the
             # species against the density field — we do the same per element)
-            h0 = n["HI"] + n["HII"] + n["HM"] + 2.0 * (n["H2I"] + n["H2II"]) + n["HDI"]
-            he0 = n["HeI"] + n["HeII"] + n["HeIII"]
-            d0 = n["DI"] + n["DII"] + n["HDI"]
+            h0 = nf["HI"] + nf["HII"] + nf["HM"] + 2.0 * (nf["H2I"] + nf["H2II"]) + nf["HDI"]
+            he0 = nf["HeI"] + nf["HeII"] + nf["HeIII"]
+            d0 = nf["DI"] + nf["DII"] + nf["HDI"]
 
-        # local substep counter: ``advance`` may run concurrently on many
-        # grids under the execution engine's thread backend, so the loop
-        # state must not live on the (shared) network object; the final
-        # count is still published as the ``last_substeps`` diagnostic
-        t_done = 0.0
-        substeps = 0
-        while t_done < dt and substeps < self.max_substeps:
-            T = self.temperature(n, e, rho)
-            lam = cool_mod.cooling_rate(n, T, z)  # erg/s/cm^3
-            edot = np.abs(lam) / np.maximum(rho, 1e-300)
-            t_cool = np.min(np.where(edot > 0, e / np.maximum(edot, 1e-300), np.inf))
+        # all loop state is local: ``advance`` may run concurrently on many
+        # grids under the execution engine's thread backend, so nothing
+        # mutable lives on the (shared) network object until the final
+        # diagnostics are published
+        t_done = np.zeros(n_cells)
+        counts = np.zeros(n_cells, dtype=np.int64)
+        active = np.arange(n_cells, dtype=np.intp)
+        iterations = 0
+        active_cells_sum = 0
+        # a cell is done once it has covered dt to rounding accuracy
+        target = dt * (1.0 - 1e-12)
+        while dt > 0.0 and active.size:
+            na = {s: nf[s][active] for s in SPECIES_NAMES}
+            ea = ef[active]
+            ra = rf[active]
+            T = self.temperature(na, ea, ra)
+            # one shared table pass feeds the timescale controls, the stiff
+            # update and the thermal update of this substep
+            k, ch = self.rates.channels(T)
+            lam = cool_mod.cooling_rate_from_channels(na, T, z, ch)  # erg/s/cm^3
+            edot = np.abs(lam) / np.maximum(ra, 1e-300)
+            t_cool = np.where(edot > 0, ea / np.maximum(edot, 1e-300), np.inf)
             # electron timescale (the Anninos et al. control): net ionisation
             # minus recombination rate against the current electron density
-            k = self.rates(T)
-            ne = np.maximum(electron_density(n), 1e-300)
-            ne_dot = np.abs(k["k1"] * n["HI"] * ne - k["k2"] * n["HII"] * ne)
-            t_elec = np.min(np.where(ne_dot > 0, ne / np.maximum(ne_dot, 1e-300), np.inf))
-            limit = min(t_cool, t_elec)
-            dt_sub = min(dt - t_done, max(self.safety * limit, dt / self.max_substeps))
-            if substeps == self.max_substeps - 1:
-                dt_sub = dt - t_done
-            self._substep(n, e, rho, dt_sub, z)
+            ne = np.maximum(electron_density(na), 1e-300)
+            ne_dot = np.abs(k["k1"] * na["HI"] * ne - k["k2"] * na["HII"] * ne)
+            t_elec = np.where(ne_dot > 0, ne / np.maximum(ne_dot, 1e-300), np.inf)
+            limit = np.minimum(t_cool, t_elec)
+            remaining = dt - t_done[active]
+            dt_sub = np.minimum(
+                remaining, np.maximum(self.safety * limit, dt / self.max_substeps)
+            )
+            # cells at the substep cap integrate their remainder in one
+            # final backward-Euler step (stable, just less accurate)
+            dt_sub = np.where(
+                counts[active] >= self.max_substeps - 1, remaining, dt_sub
+            )
+            self._substep(na, ea, ra, dt_sub, z, T=T, k=k, cool_ch=ch)
             if self.renormalise:
-                self._renormalise(n, h0, he0, d0)
-            t_done += dt_sub
-            substeps += 1
-        if t_done < dt:
-            self._substep(n, e, rho, dt - t_done, z)
-            if self.renormalise:
-                self._renormalise(n, h0, he0, d0)
-            substeps += 1
-        self.last_substeps = substeps
-        return n, e
+                self._renormalise(na, h0[active], he0[active], d0[active])
+            for s in SPECIES_NAMES:
+                nf[s][active] = na[s]
+            ef[active] = ea
+            t_done[active] += dt_sub
+            counts[active] += 1
+            iterations += 1
+            active_cells_sum += active.size
+            active = active[t_done[active] < target]
+
+        self.last_substeps = int(counts.max()) if n_cells else 0
+        self.last_stats = {
+            "cells": int(n_cells),
+            "substeps_total": int(counts.sum()),
+            "substeps_max": int(counts.max()) if n_cells else 0,
+            "iterations": int(iterations),
+            "active_fraction_mean": (
+                float(active_cells_sum) / (iterations * n_cells)
+                if iterations and n_cells else 0.0
+            ),
+        }
+        n_out = {s: nf[s].reshape(shape) for s in SPECIES_NAMES}
+        return n_out, ef.reshape(shape)
 
     @staticmethod
     def _renormalise(n: dict, h0, he0, d0) -> None:
         """Rescale species so elemental nuclei budgets are exactly conserved."""
-        hd = n["HDI"]
-        # deuterium first (HD shares nuclei with the H budget)
+        # HD can transiently overshoot the deuterium budget (the linearised
+        # d4 formation step is not conservative); cap it first so the D
+        # budget closes exactly instead of only when HD stays small
+        hd = n["HDI"] = np.minimum(n["HDI"], d0)
+        # deuterium next (HD shares nuclei with the H budget)
         d_free = np.maximum(d0 - hd, 0.0)
         cur_d = n["DI"] + n["DII"]
         f_d = np.where(cur_d > 0, d_free / np.maximum(cur_d, 1e-300), 1.0)
@@ -200,9 +268,19 @@ class ChemistryNetwork:
             n[s] *= f_he
         n["de"] = np.maximum(electron_density(n), 0.0)
 
-    def _substep(self, n: dict, e: np.ndarray, rho: np.ndarray, dt: float, z: float):
-        T = self.temperature(n, e, rho)
-        k = self.rates(T)
+    def _substep(self, n: dict, e: np.ndarray, rho: np.ndarray, dt, z: float,
+                 T=None, k=None, cool_ch=None):
+        """One linearised backward-Euler step of size dt (scalar or per-cell).
+
+        ``T``, ``k`` and ``cool_ch`` accept precomputed values (one shared
+        rate/cooling-channel evaluation per substep, hoisted by ``advance``);
+        when omitted they are evaluated here, reproducing the standalone
+        behaviour.
+        """
+        if T is None:
+            T = self.temperature(n, e, rho)
+        if k is None:
+            k = self.rates(T)
         ne = np.maximum(electron_density(n), 0.0)
 
         def be(old, create, destroy):
@@ -280,7 +358,13 @@ class ChemistryNetwork:
         n["de"] = np.maximum(electron_density(n), 0.0)
 
         # --- thermal energy ---------------------------------------------------------------
-        lam = cool_mod.cooling_rate(n, T, z)
+        # NOTE: evaluated with the *updated* densities at the substep's
+        # (start-of-step) temperature — only the T-dependent coefficients
+        # are shared with the timescale evaluation in ``advance``
+        if cool_ch is not None:
+            lam = cool_mod.cooling_rate_from_channels(n, T, z, cool_ch)
+        else:
+            lam = cool_mod.cooling_rate(n, T, z)
         if self.formation_heating and self.three_body:
             lam = lam - H2_BINDING * rate_3b + H2_BINDING * k["k13"] * h2 * hi
         # semi-implicit: cooling shrinks e by a bounded factor
@@ -294,13 +378,14 @@ class ChemistryNetwork:
         e[...] = np.maximum(e_new, 1e-300)
 
     # ------------------------------------------------------ code-unit interface
-    def advance_fields(self, fields, dt_code: float, units, a: float) -> None:
+    def advance_fields(self, fields, dt_code: float, units, a: float) -> dict:
         """Advance the species + internal energy carried on a FieldSet.
 
         Converts comoving code partial densities to proper cgs number
         densities, integrates, and writes everything back (including the
         'energy' total).  ``a`` sets both the density dilution and the
-        redshift of the CMB.
+        redshift of the CMB.  Returns the integrator stats of the call
+        (a copy of :attr:`last_stats`) for telemetry aggregation.
         """
         z = 1.0 / a - 1.0
         rho_cgs = np.asarray(fields["density"]) * units.density_unit / a**3
@@ -320,3 +405,48 @@ class ChemistryNetwork:
         kinetic = 0.5 * (fields["vx"] ** 2 + fields["vy"] ** 2 + fields["vz"] ** 2)
         fields["internal"][...] = e_new / units.energy_unit
         fields["energy"][...] = fields["internal"] + kinetic
+        return dict(self.last_stats)
+
+
+class ChemistryStepStats:
+    """Aggregate per-grid integrator stats over one root step.
+
+    The evolver absorbs the stats dict each :class:`ChemistryNetwork`
+    call returns (serially, after the execution engine joins, so the
+    aggregation is identical for every backend) and telemetry snapshots
+    the totals alongside the exec block.
+    """
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.tasks = 0
+        self.cells = 0
+        self.substeps_total = 0
+        self.substeps_max = 0
+        self._active_weighted = 0.0
+
+    def absorb(self, stats: dict | None) -> None:
+        if not stats:
+            return
+        self.tasks += 1
+        cells = int(stats.get("cells", 0))
+        self.cells += cells
+        self.substeps_total += int(stats.get("substeps_total", 0))
+        self.substeps_max = max(self.substeps_max, int(stats.get("substeps_max", 0)))
+        self._active_weighted += float(stats.get("active_fraction_mean", 0.0)) * cells
+
+    @property
+    def active_fraction_mean(self) -> float:
+        """Cell-weighted mean active fraction across absorbed grids."""
+        return self._active_weighted / self.cells if self.cells else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "tasks": self.tasks,
+            "cells": self.cells,
+            "substeps_total": self.substeps_total,
+            "substeps_max": self.substeps_max,
+            "active_fraction_mean": self.active_fraction_mean,
+        }

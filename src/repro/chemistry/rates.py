@@ -15,15 +15,48 @@ slightly but none of the qualitative behaviour the paper reports.
 
 All two-body rates are cm^3 s^-1; three-body rates cm^6 s^-1; temperatures
 in K.  Every function is vectorised over T.
+
+Tabulated evaluation (the production Enzo approach, Bryan et al. 2014)
+-----------------------------------------------------------------------
+``RateTable(mode="tabulated")`` — the default — precomputes ln(coefficient)
+for every rate *and* every cooling channel (:data:`repro.chemistry.cooling.
+COOLING_CHANNELS`) on a log-spaced log-T grid at construction, so one call
+costs a single shared table lookup (index + weight from the uniform log-T
+spacing, exactly what ``searchsorted`` would return) plus one vectorised
+linear interpolation and one ``exp`` over the whole channel block, instead
+of ~25 transcendental kernel evaluations.  Tables are cached per
+``(n_bins, t_min, t_max)`` configuration and are dropped from pickles (a
+worker process rebuilds from its own cache), and construction runs an
+accuracy guard: interpolated values must match the analytic fits to
+``rtol`` at every bin midpoint across the full temperature range.
+
+The two piecewise fits (k9's 6700 K branch switch, k14's 0.04 eV
+threshold) are tabulated as separate smooth branches and the ``where`` is
+applied at evaluation time, so the tables never interpolate across a
+discontinuity.  ``mode="analytic"`` falls back to direct evaluation of the
+fits (bitwise the seed behaviour).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.chemistry import cooling as _cooling
+
+#: validity range of the analytic fits; inputs are clipped into it (and
+#: the tabulated grid spans exactly this range).
+T_MIN = 1.0
+T_MAX = 1e9
+
+#: log-floor for the tables.  Must stay above the smallest *normal* double
+#: (~2.2e-308): a lower floor makes ``exp`` of the blended table produce
+#: denormals, which cost a ~40x microcode-assist penalty per element on
+#: x86 and dominate the whole lookup.  1e-300 is still "zero" for any rate.
+_LOG_FLOOR = 1e-300
+
 
 def _clip_T(T):
-    return np.clip(np.asarray(T, dtype=float), 1.0, 1e9)
+    return np.clip(np.asarray(T, dtype=float), T_MIN, T_MAX)
 
 
 class RateTable:
@@ -31,6 +64,20 @@ class RateTable:
 
     Calling ``RateTable()(T)`` returns a dict name -> ndarray.  Individual
     rates are exposed as static methods for unit testing.
+
+    Parameters
+    ----------
+    mode:
+        ``"tabulated"`` (default) interpolates precomputed log-T tables;
+        ``"analytic"`` evaluates the fits directly (the fallback mode).
+    n_bins:
+        Table resolution.  8192 log-spaced knots over [1, 1e9] K bound the
+        interpolation error of the steepest Boltzmann factors (curvature
+        of ln k <= ~700 where the rate is representable) below 1e-3.
+    rtol:
+        Accuracy guard: construction fails if any tabulated channel
+        deviates from its analytic fit by more than this relative
+        tolerance at any bin midpoint.
     """
 
     # --- hydrogen / helium ionisation balance (Cen 1992; Black 1981) -------
@@ -111,10 +158,7 @@ class RateTable:
     def k9_H2II_formation(T):
         """H + H+ -> H2+ + photon (Shapiro & Kang 1987)"""
         T = _clip_T(T)
-        low = 1.85e-23 * T**1.8
-        logratio = np.log10(np.maximum(T, 1.0) / 56200.0)
-        high = 5.81e-16 * (T / 56200.0) ** (-0.6657 * logratio)
-        return np.where(T < 6700.0, low, high)
+        return np.where(T < 6700.0, _k9_low(T), _k9_high(T))
 
     @staticmethod
     def k10_H2_from_H2II(T):
@@ -154,15 +198,7 @@ class RateTable:
         """H- + e -> H + 2e (approximate Janev-type fit)"""
         T = _clip_T(T)
         t_ev = T / 11604.5
-        return np.where(
-            t_ev > 0.04,
-            np.exp(
-                -18.01849334
-                + 2.3608522 * np.log(np.maximum(t_ev, 1e-10))
-                - 0.28274430 * np.log(np.maximum(t_ev, 1e-10)) ** 2
-            ),
-            0.0,
-        )
+        return np.where(t_ev > 0.04, _k14_branch(T), 0.0)
 
     @staticmethod
     def k16_HM_HII_neutralisation(T):
@@ -226,29 +262,209 @@ class RateTable:
         "d1", "d2", "d3", "d4", "d5",
     )
 
+    # -------------------------------------------------------------- instance
+    def __init__(self, mode: str = "tabulated", n_bins: int = 8192,
+                 t_min: float = T_MIN, t_max: float = T_MAX,
+                 rtol: float = 1e-3):
+        if mode not in ("tabulated", "analytic"):
+            raise ValueError(f"unknown RateTable mode {mode!r}")
+        self.mode = mode
+        self.n_bins = int(n_bins)
+        self.t_min = float(t_min)
+        self.t_max = float(t_max)
+        self.rtol = float(rtol)
+        self._tab = None
+        if mode == "tabulated":
+            self._ensure_table()
+
+    def _ensure_table(self) -> "_LogTable":
+        if self._tab is None:
+            tab = _get_table(self.n_bins, self.t_min, self.t_max)
+            if tab.max_rel_err > self.rtol:
+                raise ValueError(
+                    f"rate table ({self.n_bins} bins) only reaches rtol "
+                    f"{tab.max_rel_err:.2e} (> {self.rtol:.1e}); raise "
+                    f"n_bins or loosen rtol"
+                )
+            self._tab = tab
+        return self._tab
+
+    # the big table arrays never travel in pickles (the process-backend
+    # workers receive the network per task); each process rebuilds from
+    # its own cache on first use
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_tab"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------ evaluation
+    def channels(self, T, cool: bool = True):
+        """Evaluate all rate coefficients — and, when ``cool`` is true, all
+        cooling-channel coefficients — at T in one shared table pass.
+
+        Returns ``(rates, cooling_channels)``; the latter is ``None`` when
+        ``cool`` is false.  This is the network hot path: one lookup feeds
+        both the stiff solver and the thermal update of a substep.
+        """
+        T = _clip_T(T)
+        if self.mode == "tabulated":
+            ch = self._ensure_table().lookup(T)
+        else:
+            ch = {name: fn(T) for name, fn in _RATE_CHANNELS.items()}
+            if cool:
+                ch.update(_cooling.cooling_channels(T))
+        rates = self._assemble_rates(T, ch)
+        cool_ch = (
+            {name: ch[name] for name in _cooling.COOLING_CHANNEL_NAMES}
+            if cool else None
+        )
+        return rates, cool_ch
+
+    @staticmethod
+    def _assemble_rates(T, ch: dict) -> dict:
+        """Apply the piecewise branch switches and alias d1 = k2."""
+        rates = {}
+        for name in RateTable.RATE_NAMES:
+            if name == "k9":
+                rates["k9"] = np.where(T < 6700.0, ch["k9_low"], ch["k9_high"])
+            elif name == "k14":
+                rates["k14"] = np.where(T / 11604.5 > 0.04, ch["k14_branch"], 0.0)
+            elif name == "d1":
+                rates["d1"] = ch["k2"]
+            else:
+                rates[name] = ch[name]
+        return rates
+
     def __call__(self, T) -> dict:
+        rates, _ = self.channels(T, cool=False)
+        return rates
+
+
+# ------------------------------------------------- smooth channel functions
+# The piecewise fits are split into their smooth branches here so the
+# tables never straddle a discontinuity; the branch switch is re-applied
+# (exactly, on the true T) in RateTable._assemble_rates.
+def _k9_low(T):
+    return 1.85e-23 * T**1.8
+
+
+def _k9_high(T):
+    logratio = np.log10(np.maximum(T, 1.0) / 56200.0)
+    return 5.81e-16 * (T / 56200.0) ** (-0.6657 * logratio)
+
+
+def _k14_branch(T):
+    t_ev = T / 11604.5
+    return np.exp(
+        -18.01849334
+        + 2.3608522 * np.log(np.maximum(t_ev, 1e-10))
+        - 0.28274430 * np.log(np.maximum(t_ev, 1e-10)) ** 2
+    )
+
+
+#: tabulated rate channels (smooth everywhere on [T_MIN, T_MAX]).
+_RATE_CHANNELS = {
+    "k1": RateTable.k1_HI_ionisation,
+    "k2": RateTable.k2_HII_recombination,
+    "k3": RateTable.k3_HeI_ionisation,
+    "k4": RateTable.k4_HeII_recombination,
+    "k5": RateTable.k5_HeII_ionisation,
+    "k6": RateTable.k6_HeIII_recombination,
+    "k7": RateTable.k7_HM_formation,
+    "k8": RateTable.k8_H2_from_HM,
+    "k9_low": _k9_low,
+    "k9_high": _k9_high,
+    "k10": RateTable.k10_H2_from_H2II,
+    "k11": RateTable.k11_H2_HII_exchange,
+    "k12": RateTable.k12_H2_e_dissociation,
+    "k13": RateTable.k13_H2_H_dissociation,
+    "k14_branch": _k14_branch,
+    "k16": RateTable.k16_HM_HII_neutralisation,
+    "k18": RateTable.k18_H2II_e_recombination,
+    "k22": RateTable.k22_threebody_H2,
+    "k23": RateTable.k23_threebody_H2_with_H2,
+    "d2": RateTable.d2_D_charge_exchange,
+    "d3": RateTable.d3_DII_charge_exchange,
+    "d4": RateTable.d4_HD_formation,
+    "d5": RateTable.d5_HD_destruction,
+}
+
+
+def _all_channel_funcs() -> dict:
+    funcs = dict(_RATE_CHANNELS)
+    funcs.update(_cooling.COOLING_CHANNELS)
+    return funcs
+
+
+class _LogTable:
+    """ln(coefficient) of every channel on a uniform log-T grid.
+
+    ``lookup`` computes the shared bin index and weight once (the uniform
+    spacing makes the ``searchsorted`` a single multiply-and-floor), row-
+    gathers both bracketing knots for *all* channels at once, blends, and
+    exponentiates the whole block in one call.
+    """
+
+    def __init__(self, n_bins: int, t_min: float, t_max: float):
+        self.n_bins = int(n_bins)
+        self.x0 = float(np.log(t_min))
+        x1 = float(np.log(t_max))
+        self.h = (x1 - self.x0) / (self.n_bins - 1)
+        x = self.x0 + self.h * np.arange(self.n_bins)
+        T = np.exp(x)
+        funcs = _all_channel_funcs()
+        self.names = tuple(funcs)
+        with np.errstate(under="ignore"):
+            rows = [np.asarray(fn(T), dtype=float) for fn in funcs.values()]
+        # channel-major (C, n_bins): the per-cell gather then reads one
+        # contiguous 64 kB row per channel (stays L2-resident), and the
+        # blended block comes out channel-contiguous with no transpose.
+        self.logtab = np.log(np.maximum(np.vstack(rows), _LOG_FLOOR))
+        # accuracy guard: worst relative deviation from the analytic fits
+        # at every bin midpoint (the interpolation error maximum)
+        mid = np.exp(x[:-1] + 0.5 * self.h)
+        with np.errstate(under="ignore"):
+            exact = np.vstack([np.asarray(fn(mid), dtype=float)
+                               for fn in funcs.values()])
+            approx = self._blend(mid)
+        # relative to max(|exact|, 1e-280): coefficients below that are
+        # physically zero and only differ by the table's 1e-300 floor
+        err = np.abs(approx - exact) / np.maximum(np.abs(exact), 1e-280)
+        self.max_rel_err = float(err.max())
+
+    def _blend(self, T_flat: np.ndarray) -> np.ndarray:
+        """Interpolated coefficients, shape (n_channels, T_flat.size)."""
+        u = (np.log(T_flat) - self.x0) / self.h
+        i = u.astype(np.intp)
+        np.clip(i, 0, self.n_bins - 2, out=i)
+        w = u - i
+        lo = np.take(self.logtab, i, axis=1)
+        out = np.take(self.logtab, i + 1, axis=1)
+        # out = exp(lo + w * (out - lo)), fused in place
+        out -= lo
+        out *= w
+        out += lo
+        np.exp(out, out=out)
+        return out
+
+    def lookup(self, T) -> dict:
+        T = np.asarray(T, dtype=float)
+        shape = T.shape
+        block = self._blend(T.reshape(-1))
         return {
-            "k1": self.k1_HI_ionisation(T),
-            "k2": self.k2_HII_recombination(T),
-            "k3": self.k3_HeI_ionisation(T),
-            "k4": self.k4_HeII_recombination(T),
-            "k5": self.k5_HeII_ionisation(T),
-            "k6": self.k6_HeIII_recombination(T),
-            "k7": self.k7_HM_formation(T),
-            "k8": self.k8_H2_from_HM(T),
-            "k9": self.k9_H2II_formation(T),
-            "k10": self.k10_H2_from_H2II(T),
-            "k11": self.k11_H2_HII_exchange(T),
-            "k12": self.k12_H2_e_dissociation(T),
-            "k13": self.k13_H2_H_dissociation(T),
-            "k14": self.k14_HM_e_detachment(T),
-            "k16": self.k16_HM_HII_neutralisation(T),
-            "k18": self.k18_H2II_e_recombination(T),
-            "k22": self.k22_threebody_H2(T),
-            "k23": self.k23_threebody_H2_with_H2(T),
-            "d1": self.d1_DII_recombination(T),
-            "d2": self.d2_D_charge_exchange(T),
-            "d3": self.d3_DII_charge_exchange(T),
-            "d4": self.d4_HD_formation(T),
-            "d5": self.d5_HD_destruction(T),
+            name: block[j].reshape(shape) for j, name in enumerate(self.names)
         }
+
+
+_TABLE_CACHE: dict[tuple, _LogTable] = {}
+
+
+def _get_table(n_bins: int, t_min: float, t_max: float) -> _LogTable:
+    key = (int(n_bins), float(t_min), float(t_max))
+    tab = _TABLE_CACHE.get(key)
+    if tab is None:
+        tab = _TABLE_CACHE[key] = _LogTable(*key)
+    return tab

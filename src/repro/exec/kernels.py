@@ -62,9 +62,11 @@ def _hydro_kernel(views: dict, meta: dict):
 
 def _chemistry_kernel(views: dict, meta: dict):
     fields = _build_fields(views, meta)
-    meta["network"].advance_fields(fields, meta["dt"], meta["units"], meta["a"])
+    stats = meta["network"].advance_fields(
+        fields, meta["dt"], meta["units"], meta["a"]
+    )
     _sync_fields(fields, views, meta)
-    return None
+    return stats
 
 
 def _gravity_kernel(views: dict, meta: dict):

@@ -135,7 +135,7 @@ class ChemistryTask(GridTask):
         self.a = float(a)
 
     def run_inline(self) -> None:
-        self.network.advance_fields(
+        self.result = self.network.advance_fields(
             self.grid.fields, self.dt_code, self.units, self.a
         )
 
@@ -152,6 +152,7 @@ class ChemistryTask(GridTask):
 
     def absorb(self, views: dict, ret) -> None:
         self._absorb_fields(views)
+        self.result = ret
 
 
 class GravityAccelTask(GridTask):

@@ -12,30 +12,69 @@ parent grid (and corrected by sibling exchange at the AMR layer).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
+
+#: red/black checkerboard masks per interior shape.  The V-cycle smooths
+#: the same handful of shapes thousands of times per solve; rebuilding
+#: ``np.indices`` each call dominated small-grid smoothing cost.  Masks are
+#: immutable once built, so the cache is safe to share across threads.
+_MASK_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+_MASK_LOCK = threading.Lock()
+
+#: per-thread scratch buffers (neighbor sum + scaled source) keyed by
+#: interior shape — the AMR layer may run several solvers concurrently
+#: under the exec engine's thread backend, so scratch must not be shared.
+_SCRATCH = threading.local()
+
+
+def _checkerboard(shape: tuple) -> tuple[np.ndarray, np.ndarray]:
+    masks = _MASK_CACHE.get(shape)
+    if masks is None:
+        idx = np.indices(shape).sum(axis=0)
+        red = (idx % 2) == 0
+        with _MASK_LOCK:
+            masks = _MASK_CACHE.setdefault(shape, (red, ~red))
+    return masks
+
+
+def _scratch_pair(shape: tuple) -> tuple[np.ndarray, np.ndarray]:
+    bufs = getattr(_SCRATCH, "bufs", None)
+    if bufs is None:
+        bufs = _SCRATCH.bufs = {}
+    pair = bufs.get(shape)
+    if pair is None:
+        pair = bufs[shape] = (np.empty(shape), np.empty(shape))
+    return pair
 
 
 def _redblack_smooth(phi: np.ndarray, source: np.ndarray, dx: float, sweeps: int) -> None:
-    """Red-black Gauss-Seidel on the interior of a rim-padded array."""
+    """Red-black Gauss-Seidel on the interior of a rim-padded array.
+
+    The update arithmetic is kept bitwise identical to the naive
+    expression ``((((phi_E + phi_W) + phi_N) + phi_S) + ...  - h2*source)
+    / 6.0`` — only the temporaries are preallocated (per thread, per
+    shape) and the checkerboard masks are cached per interior shape.
+    """
     h2 = dx * dx
-    # checkerboard masks over the interior
     shape = tuple(s - 2 for s in phi.shape)
-    idx = np.indices(shape).sum(axis=0)
-    red = (idx % 2) == 0
+    red, black = _checkerboard(shape)
+    nb, hs = _scratch_pair(shape)
+    np.multiply(source, h2, out=hs)
     core = (slice(1, -1),) * 3
+    interior = phi[core]
     for _ in range(sweeps):
-        for mask in (red, ~red):
-            nb = (
-                phi[2:, 1:-1, 1:-1]
-                + phi[:-2, 1:-1, 1:-1]
-                + phi[1:-1, 2:, 1:-1]
-                + phi[1:-1, :-2, 1:-1]
-                + phi[1:-1, 1:-1, 2:]
-                + phi[1:-1, 1:-1, :-2]
-            )
-            new = (nb - h2 * source) / 6.0
-            interior = phi[core]
-            interior[mask] = new[mask]
+        for mask in (red, black):
+            # left-associated neighbor sum, fused into the scratch buffer
+            np.add(phi[2:, 1:-1, 1:-1], phi[:-2, 1:-1, 1:-1], out=nb)
+            nb += phi[1:-1, 2:, 1:-1]
+            nb += phi[1:-1, :-2, 1:-1]
+            nb += phi[1:-1, 1:-1, 2:]
+            nb += phi[1:-1, 1:-1, :-2]
+            nb -= hs
+            nb /= 6.0
+            interior[mask] = nb[mask]
 
 
 def _residual(phi: np.ndarray, source: np.ndarray, dx: float) -> np.ndarray:
@@ -58,11 +97,43 @@ def _restrict(fine: np.ndarray) -> np.ndarray:
     return fine.reshape(s[0] // 2, 2, s[1] // 2, 2, s[2] // 2, 2).mean(axis=(1, 3, 5))
 
 
-def _prolong_into(coarse_err: np.ndarray, fine_shape) -> np.ndarray:
-    """Piecewise-constant prolongation of the coarse error (smoothing follows)."""
+def _prolong_constant(coarse_err: np.ndarray, fine_shape) -> np.ndarray:
+    """Piecewise-constant (injection) prolongation — the legacy operator."""
     return np.repeat(np.repeat(np.repeat(coarse_err, 2, 0), 2, 1), 2, 2)[
         : fine_shape[0], : fine_shape[1], : fine_shape[2]
     ]
+
+
+def _prolong_axis(padded: np.ndarray, axis: int) -> np.ndarray:
+    """Cell-centered linear interpolation along one axis (2x refinement).
+
+    ``padded`` carries a one-cell rim along ``axis`` (the coarse error's
+    homogeneous Dirichlet rim); the output drops that axis's rim and has
+    twice the interior length.  Fine cell centers sit a quarter coarse
+    cell off the coarse centers, so the weights are 3/4 near, 1/4 far.
+    """
+    b = np.moveaxis(padded, axis, 0)
+    m = b.shape[0] - 2
+    out = np.empty((2 * m,) + b.shape[1:])
+    out[0::2] = 0.25 * b[0:m] + 0.75 * b[1:m + 1]
+    out[1::2] = 0.75 * b[1:m + 1] + 0.25 * b[2:m + 2]
+    return np.moveaxis(out, 0, axis)
+
+
+def _prolong_into(coarse_padded: np.ndarray, fine_shape) -> np.ndarray:
+    """Trilinear prolongation of the rim-padded coarse error.
+
+    Separable: one cell-centered linear pass per axis, each consuming that
+    axis's rim.  The rim holds the error's Dirichlet boundary values
+    (zero on coarse error grids), so edge fine cells interpolate toward
+    the boundary instead of copying the nearest coarse cell — this is the
+    trilinear operator the module docstring promises, and it cuts the
+    V-cycle count vs piecewise-constant injection.
+    """
+    out = coarse_padded
+    for axis in range(3):
+        out = _prolong_axis(out, axis)
+    return out[: fine_shape[0], : fine_shape[1], : fine_shape[2]]
 
 
 class MultigridSolver:
@@ -78,15 +149,23 @@ class MultigridSolver:
         V-cycle budget; small grids converge in a handful.
     min_size:
         Grids at or below this size are smoothed directly.
+    prolongation:
+        ``"trilinear"`` (default) interpolates the coarse-grid correction;
+        ``"constant"`` is the legacy piecewise-constant injection (kept
+        for comparison — it needs measurably more V-cycles).
     """
 
     def __init__(self, pre_sweeps: int = 3, post_sweeps: int = 3, tol: float = 1e-8,
-                 max_cycles: int = 60, min_size: int = 4):
+                 max_cycles: int = 60, min_size: int = 4,
+                 prolongation: str = "trilinear"):
+        if prolongation not in ("trilinear", "constant"):
+            raise ValueError(f"unknown prolongation {prolongation!r}")
         self.pre = pre_sweeps
         self.post = post_sweeps
         self.tol = tol
         self.max_cycles = max_cycles
         self.min_size = min_size
+        self.prolongation = prolongation
         self.last_cycles = 0
         self.last_residual = np.inf
 
@@ -121,7 +200,10 @@ class MultigridSolver:
         coarse_phi = np.zeros(tuple(s + 2 for s in coarse_src.shape))
         # recursively solve the error equation with homogeneous Dirichlet rim
         self._vcycle(coarse_phi, coarse_src, 2.0 * dx)
-        err = _prolong_into(coarse_phi[1:-1, 1:-1, 1:-1], shape)
+        if self.prolongation == "trilinear":
+            err = _prolong_into(coarse_phi, shape)
+        else:
+            err = _prolong_constant(coarse_phi[1:-1, 1:-1, 1:-1], shape)
         phi[1:-1, 1:-1, 1:-1] += err
         _redblack_smooth(phi, source, dx, self.post)
 

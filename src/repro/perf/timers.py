@@ -42,6 +42,9 @@ class ComponentTimers:
     def __init__(self):
         self.totals = defaultdict(float)
         self.counts = defaultdict(int)
+        #: per-section auxiliary scalar stats, (section, key) -> value;
+        #: written via :meth:`add_stat` (e.g. chemistry substep counts)
+        self.stats: dict[tuple[str, str], float] = {}
         self._stack: list[tuple[str, float]] = []
         self._t0 = time.perf_counter()
 
@@ -77,6 +80,30 @@ class ComponentTimers:
             self.totals[name] += float(seconds)
         self.counts[name] += int(count)
 
+    def add_stat(self, section: str, key: str, value, mode: str = "set") -> None:
+        """Record an auxiliary scalar stat for a section.
+
+        ``mode``: ``"set"`` overwrites (latest value wins), ``"sum"``
+        accumulates, ``"max"`` keeps the running maximum.  Used by the
+        evolver for non-time diagnostics that belong with a component —
+        e.g. the chemistry integrator's substep totals and mean
+        active-cell fraction.
+        """
+        value = float(value)
+        slot = (section, key)
+        if mode == "sum":
+            self.stats[slot] = self.stats.get(slot, 0.0) + value
+        elif mode == "max":
+            self.stats[slot] = max(self.stats.get(slot, value), value)
+        elif mode == "set":
+            self.stats[slot] = value
+        else:
+            raise ValueError(f"unknown add_stat mode {mode!r}")
+
+    def section_stats(self, section: str) -> dict[str, float]:
+        """All auxiliary stats recorded for one section."""
+        return {k: v for (s, k), v in self.stats.items() if s == section}
+
     @property
     def wall_time(self) -> float:
         return time.perf_counter() - self._t0
@@ -94,10 +121,13 @@ class ComponentTimers:
         lines = ["component            usage"]
         for name, frac in sorted(self.fractions().items(), key=lambda kv: -kv[1]):
             lines.append(f"{name:<20s} {100 * frac:5.1f} %")
+        for (section, key), value in sorted(self.stats.items()):
+            lines.append(f"{section + '.' + key:<20s} {value:g}")
         return "\n".join(lines)
 
     def reset(self) -> None:
         self.totals.clear()
         self.counts.clear()
+        self.stats.clear()
         self._stack.clear()
         self._t0 = time.perf_counter()

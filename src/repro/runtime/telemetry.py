@@ -14,12 +14,20 @@ Step record schema (all numbers JSON-native)::
      "exec": {"backend": "thread", "workers": 4, "dispatches": 12,
               "tasks": 310, "overhead": 0.004, "utilisation": 0.87,
               "imbalance": {"0": 1.0, "1": 1.18}},
+     "chemistry": {"tasks": 9, "cells": 36864, "substeps_total": 112640,
+                   "substeps_max": 57, "active_fraction_mean": 0.23},
      "wall": ...}
 
 The ``exec`` block comes from the execution engine (:mod:`repro.exec`):
 per-root-step dispatch counts, scheduling/dispatch overhead seconds,
 worker utilisation, and the per-level load-imbalance ratio (max/mean
 worker busy time; 1.0 is perfect balance).
+
+The ``chemistry`` block (present when a chemistry network is attached)
+aggregates the active-set integrator's per-grid diagnostics over the
+root step: total/maximum substep counts and the cell-weighted mean
+fraction of cells still active per substep iteration (lower = more cells
+converging early and dropping out of the integration).
 """
 
 from __future__ import annotations
@@ -93,6 +101,11 @@ def step_record(evolver, step: int, dt: float) -> dict:
     engine = getattr(evolver, "engine", None)
     if engine is not None:
         record["exec"] = engine.step_snapshot()
+    chem_stats = getattr(evolver, "chem_stats", None)
+    if chem_stats is not None and chem_stats.tasks:
+        snap = chem_stats.snapshot()
+        snap["active_fraction_mean"] = round(snap["active_fraction_mean"], 6)
+        record["chemistry"] = snap
     if evolver.timers is not None:
         record["timers"] = {
             k: round(v, 6) for k, v in evolver.timers.fractions().items()

@@ -199,3 +199,74 @@ class TestMultigrid:
         np.testing.assert_allclose(
             phi_mg[1:-1, 1:-1, 1:-1], phi_fft, atol=1e-8 * np.abs(phi_fft).max()
         )
+
+
+class TestProlongation:
+    def test_trilinear_reproduces_linear_fields_exactly(self):
+        """Cell-centered trilinear prolongation is exact on linear data."""
+        from repro.gravity.multigrid import _prolong_into
+
+        m = 4
+        c = np.arange(m + 2) - 0.5  # coarse centers incl. one-cell rim
+        cx, cy, cz = np.meshgrid(c, c, c, indexing="ij")
+        coarse = 2.0 * cx - 0.7 * cy + 0.3 * cz + 1.5
+        fine = _prolong_into(coarse, (2 * m, 2 * m, 2 * m))
+        f = (np.arange(2 * m) + 0.5) / 2.0  # fine centers, coarse units
+        fx, fy, fz = np.meshgrid(f, f, f, indexing="ij")
+        expected = 2.0 * fx - 0.7 * fy + 0.3 * fz + 1.5
+        np.testing.assert_allclose(fine, expected, atol=1e-12)
+
+    def test_trilinear_needs_fewer_vcycles_than_constant(self):
+        n = 32
+        dx = 1.0 / n
+        rng = np.random.default_rng(7)
+        src = rng.standard_normal((n, n, n))
+        boundary = np.zeros((n + 2,) * 3)
+        cycles = {}
+        for mode in ("trilinear", "constant"):
+            solver = MultigridSolver(tol=1e-8, prolongation=mode)
+            solver.solve(src, dx, boundary)
+            assert solver.last_residual <= 1e-8
+            cycles[mode] = solver.last_cycles
+        assert cycles["trilinear"] < cycles["constant"], cycles
+
+    def test_unknown_prolongation_rejected(self):
+        with pytest.raises(ValueError, match="prolongation"):
+            MultigridSolver(prolongation="cubic")
+
+
+class TestSmootherCaches:
+    def test_checkerboard_masks_cached_and_correct(self):
+        from repro.gravity.multigrid import _MASK_CACHE, _checkerboard
+
+        shape = (6, 5, 4)
+        red, black = _checkerboard(shape)
+        assert _checkerboard(shape)[0] is red  # cached per shape
+        assert shape in _MASK_CACHE
+        idx = np.indices(shape).sum(axis=0)
+        np.testing.assert_array_equal(red, idx % 2 == 0)
+        np.testing.assert_array_equal(black, idx % 2 == 1)
+        assert not np.any(red & black)
+        assert np.all(red | black)
+
+    def test_smoother_matches_naive_sweep(self):
+        """The buffered red-black sweep is bitwise the naive expression."""
+        from repro.gravity.multigrid import _checkerboard, _redblack_smooth
+
+        n = 8
+        dx = 0.125
+        rng = np.random.default_rng(11)
+        phi = rng.standard_normal((n + 2,) * 3)
+        src = rng.standard_normal((n, n, n))
+        ref = phi.copy()
+        h2 = dx * dx
+        for mask in _checkerboard((n, n, n)):
+            nb = (
+                (((ref[2:, 1:-1, 1:-1] + ref[:-2, 1:-1, 1:-1])
+                  + ref[1:-1, 2:, 1:-1]) + ref[1:-1, :-2, 1:-1])
+                + ref[1:-1, 1:-1, 2:]
+            ) + ref[1:-1, 1:-1, :-2]
+            upd = (nb - h2 * src) / 6.0
+            ref[1:-1, 1:-1, 1:-1][mask] = upd[mask]
+        _redblack_smooth(phi, src, dx, sweeps=1)
+        np.testing.assert_array_equal(phi, ref)
