@@ -117,9 +117,25 @@ def _collapse_problem(**kwargs):
     return PrimordialCollapse(timers=ComponentTimers(), **kwargs)
 
 
+def _install_faults(args) -> None:
+    """Install the chaos-testing fault injector requested on the CLI.
+
+    ``--faults`` uses the same compact syntax as the ``REPRO_FAULTS``
+    environment variable (which still applies when the flag is absent).
+    """
+    if getattr(args, "faults", None):
+        from repro.runtime import faults
+
+        faults.install(faults.FaultInjector(
+            faults.parse_spec(args.faults),
+            seed=getattr(args, "fault_seed", None),
+        ))
+
+
 def cmd_run(args) -> int:
     from repro.runtime import CheckpointPolicy
 
+    _install_faults(args)
     run_dir = args.dir or args.telemetry or "runs/collapse"
     problem = _collapse_problem(
         n_root=args.n, max_level=args.levels, amplitude_boost=4.0,
@@ -141,6 +157,7 @@ def cmd_run(args) -> int:
 def cmd_resume(args) -> int:
     from repro.runtime import CheckpointPolicy, RunState
 
+    _install_faults(args)
     latest = CheckpointPolicy.latest(args.dir)
     if latest is None:
         print(f"no checkpoint found in {args.dir!r}", file=sys.stderr)
@@ -252,6 +269,13 @@ def main(argv=None) -> int:
     p.add_argument("--workers", type=int, default=None,
                    help="worker count for parallel backends "
                         "(default: REPRO_WORKERS or CPU count)")
+    p.add_argument("--faults", default=None,
+                   help="chaos-test fault spec, e.g. "
+                        "'nan_cell:level=1,grid=3,count=2;mg_diverge:level=1' "
+                        "(same syntax as REPRO_FAULTS; see docs/ROBUSTNESS.md)")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="RNG seed for fault payloads "
+                        "(default: REPRO_FAULTS_SEED or 0)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -267,6 +291,10 @@ def main(argv=None) -> int:
                         "(results are backend-independent)")
     p.add_argument("--workers", type=int, default=None,
                    help="override the worker count for the resumed run")
+    p.add_argument("--faults", default=None,
+                   help="chaos-test fault spec (same syntax as REPRO_FAULTS)")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="RNG seed for fault payloads")
     p.set_defaults(fn=cmd_resume)
 
     p = sub.add_parser("tail", help="summarise a run's telemetry stream")

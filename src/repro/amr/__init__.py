@@ -17,6 +17,7 @@ from repro.amr.grid import Grid
 from repro.amr.hierarchy import Hierarchy
 from repro.amr.clustering import cluster_flagged_cells, Box
 from repro.amr.refinement import RefinementCriteria
+from repro.amr.defense import DefenseLadder
 from repro.amr.evolve import EvolveLevel, HierarchyEvolver
 from repro.amr.topology import SiblingLink, build_sibling_map
 
@@ -25,6 +26,7 @@ __all__ = [
     "Hierarchy",
     "cluster_flagged_cells",
     "Box",
+    "DefenseLadder",
     "RefinementCriteria",
     "EvolveLevel",
     "HierarchyEvolver",

@@ -30,6 +30,7 @@ from collections import defaultdict
 import numpy as np
 
 from repro.amr.boundary import set_boundary_values
+from repro.amr.defense import DefenseLadder
 from repro.amr.flux_correction import accumulate_boundary_fluxes, correct_level
 from repro.amr.projection import project_level
 from repro.amr.rebuild import rebuild_hierarchy
@@ -38,6 +39,7 @@ from repro.exec import ChemistryTask, ExecutionEngine, GravityAccelTask, HydroTa
 from repro.hydro.timestep import accel_timestep, expansion_timestep, hydro_timestep, particle_timestep
 from repro.nbody.cic import cic_deposit
 from repro.precision.doubledouble import DoubleDouble
+from repro.runtime.faults import active as _active_faults
 
 
 class StaticClock:
@@ -115,13 +117,21 @@ class HierarchyEvolver:
         execution backend for independent per-grid work; None resolves
         from ``REPRO_EXEC_BACKEND`` / ``REPRO_WORKERS`` (default: serial).
         Results are bitwise identical across backends and worker counts.
+    defense:
+        ``None`` (default) attaches a :class:`repro.amr.defense
+        .DefenseLadder` that validates every per-grid task result and
+        rescues invalid grids in place before escalating to the run
+        controller; ``False`` disables validation entirely (seed
+        semantics: a task error aborts the step); or pass a configured
+        ladder instance.  With no escalations the ladder is read-only, so
+        results stay bitwise identical either way.
     """
 
     def __init__(self, hierarchy, solver, gravity=None, chemistry=None,
                  criteria=None, clock=None, units=None, cfl: float = 0.4,
                  max_level: int | None = None, rebuild_every: int = 1,
                  stats=None, timers=None, jeans_floor_cells: float = 0.0,
-                 exec_config=None):
+                 exec_config=None, defense=None):
         self.hierarchy = hierarchy
         self.solver = solver
         self.gravity = gravity
@@ -140,9 +150,20 @@ class HierarchyEvolver:
         #: fragmentation once the depth cap stops the paper's "refine
         #: forever" strategy.
         self.jeans_floor_cells = float(jeans_floor_cells)
+        #: grid-scoped defense ladder (repro.amr.defense); validates task
+        #: results and rescues sick grids locally before any rollback
+        if defense is None:
+            defense = DefenseLadder()
+        elif defense is False:
+            defense = None
+        self.defense = defense
+        if gravity is not None and getattr(gravity, "defense", None) is None:
+            gravity.defense = self.defense
         #: execution engine for independent per-grid work (hydro sweeps,
         #: chemistry advances, gravity accelerations); see repro.exec
         self.engine = ExecutionEngine(exec_config)
+        if self.defense is not None:
+            self.engine.on_event = self.defense.record_event
         #: per-root-step aggregate of the chemistry integrator diagnostics
         #: (substep counts, active-set occupancy); snapshotted by telemetry
         self.chem_stats = ChemistryStepStats()
@@ -212,6 +233,8 @@ class HierarchyEvolver:
             return None
         self.engine.begin_root_step()
         self.chem_stats.reset()
+        if self.defense is not None:
+            self.defense.begin_root_step()
         self._timed("boundary", set_boundary_values, h, 0)
         return self._step_level(0, target)
 
@@ -233,6 +256,10 @@ class HierarchyEvolver:
         grids = h.level_grids(level)
         if not grids:
             return None
+        inj = _active_faults()
+        if inj is not None:
+            # publish the step context in-step fault specs match against
+            inj.set_step(level, self.step_counter[level])
         time_now = grids[0].time
         a = self.clock.a_of(time_now)
         adot = self.clock.adot_of(time_now)
@@ -276,9 +303,15 @@ class HierarchyEvolver:
         ]
         self.engine.run(hydro_tasks, level=level, timers=self.timers)
         for g, task in zip(grids, hydro_tasks):
-            g.last_fluxes = task.result
-            if level > 0:
-                accumulate_boundary_fluxes(g, task.result)
+            result = task.result
+            if self.defense is not None:
+                result = self._defend_hydro(g, task, dt, a_mid, adot_mid,
+                                            accel.get(g.grid_id), permute)
+            elif task.error is not None:
+                raise task.error
+            g.last_fluxes = result
+            if level > 0 and result is not None:
+                accumulate_boundary_fluxes(g, result)
             g.time = DoubleDouble(g.time + dt)
 
         self._timed("nbody", self._advance_particles, level, dt, a_mid,
@@ -292,8 +325,13 @@ class HierarchyEvolver:
             self.engine.run(chemistry_tasks, level=level, timers=self.timers)
             # aggregate integrator diagnostics serially after the engine
             # joins — identical result on every backend / worker count
-            for task in chemistry_tasks:
-                self.chem_stats.absorb(task.result)
+            for g, task in zip(grids, chemistry_tasks):
+                stats = task.result
+                if self.defense is not None:
+                    stats = self._defend_chemistry(g, task, dt, a_mid)
+                elif task.error is not None:
+                    raise task.error
+                self.chem_stats.absorb(stats)
             if self.timers is not None:
                 snap = self.chem_stats
                 self.timers.add_stat("chemistry", "substeps", snap.substeps_total,
@@ -331,6 +369,40 @@ class HierarchyEvolver:
         if self.stats is not None and hasattr(self.stats, "record_step"):
             self.stats.record_step(h, level, dt, float(grids[0].time))
         return dt
+
+    # -------------------------------------------------------------- defense
+    def _defend_hydro(self, g, task, dt, a, adot, accel, permute):
+        """Validate one grid's hydro result; rescue through the ladder.
+
+        The no-fault fast path is read-only (interior isfinite/positivity
+        checks plus floor-counter bookkeeping), which is what keeps
+        defended runs bitwise identical to undefended ones.
+        """
+        d = self.defense
+        if task.error is None:
+            d.note_floors(task.result.diagnostics)
+            problems = d.validate_grid(g)
+            if not problems:
+                return task.result
+        else:
+            problems = [f"task_error:{type(task.error).__name__}"]
+        return self._timed(
+            "defense", d.rescue_hydro, g, self.solver, dt, a, adot,
+            accel, permute, problems,
+        )
+
+    def _defend_chemistry(self, g, task, dt, a):
+        d = self.defense
+        if task.error is None:
+            problems = d.validate_grid(g)
+            if not problems:
+                return task.result
+        else:
+            problems = [f"task_error:{type(task.error).__name__}"]
+        return self._timed(
+            "defense", d.rescue_chemistry, g, self.chemistry, dt,
+            self.units, a, task.error, problems,
+        )
 
     # ------------------------------------------------------------- particles
     def _advance_particles(self, level: int, dt: float, a: float, adot: float,

@@ -14,8 +14,9 @@ import numpy as np
 
 from repro.amr.interpolation import prolong_region
 from repro.gravity.fft_poisson import solve_periodic
-from repro.gravity.multigrid import MultigridSolver
+from repro.gravity.multigrid import MultigridConvergenceError, MultigridSolver
 from repro.nbody.cic import cic_deposit, cic_gather
+from repro.runtime.faults import take as _take_fault
 
 
 class HierarchyGravity:
@@ -38,6 +39,11 @@ class HierarchyGravity:
         self.mean_density = mean_density
         self.sibling_iterations = int(sibling_iterations)
         self.mg = MultigridSolver(tol=mg_tol)
+        #: defense ladder (set by the evolver): when present, subgrid
+        #: solves run strict — non-convergence is retried once with a
+        #: doubled V-cycle budget, then escalated — instead of silently
+        #: accepting a bad potential
+        self.defense = None
 
     # ------------------------------------------------------------ densities
     def total_density(self, hierarchy, grid) -> np.ndarray:
@@ -90,7 +96,7 @@ class HierarchyGravity:
         for iteration in range(self.sibling_iterations):
             for g in grids:
                 rim = boundaries[g.grid_id]
-                sol = self.mg.solve(sources[g.grid_id], g.dx, rim)
+                sol = self._solve_grid(g, sources[g.grid_id], rim)
                 self._store_phi(g, sol)
             # exchange: overwrite rim values with sibling solutions; a pass
             # that changes nothing means the iteration has converged
@@ -106,6 +112,37 @@ class HierarchyGravity:
                         improved = True
             if not improved:
                 break
+
+    def _solve_grid(self, grid, src: np.ndarray, rim: np.ndarray) -> np.ndarray:
+        """One subgrid multigrid solve, defended when a ladder is attached.
+
+        Defense off: today's silent solve, bit for bit.  Defense on: the
+        solve is strict; on non-convergence (real, or injected via the
+        ``mg_diverge`` fault) it is retried once with the V-cycle budget
+        doubled, and only a second failure escalates the error to the run
+        controller's rollback path.
+        """
+        site = (int(grid.level), int(grid.grid_id))
+        strict = self.defense is not None
+        force = _take_fault("mg_diverge", grid.level, grid.grid_id) is not None
+        try:
+            return self.mg.solve(src, grid.dx, rim, strict=strict,
+                                 site=site, force_diverge=force)
+        except MultigridConvergenceError as exc:
+            self.defense.record_event({
+                "rung": "mg_budget_retry", "ok": True,
+                "level": site[0], "grid": site[1],
+                "diagnostics": exc.diagnostics.as_dict(),
+            })
+            force = (
+                _take_fault("mg_diverge", grid.level, grid.grid_id)
+                is not None
+            )
+            return self.mg.solve(
+                src, grid.dx, rim, strict=True,
+                max_cycles=2 * self.mg.max_cycles, site=site,
+                force_diverge=force,
+            )
 
     def _parent_boundary(self, grid) -> np.ndarray:
         """Dirichlet rim (dims+2) interpolated from the parent's potential."""

@@ -39,6 +39,7 @@ import atexit
 import multiprocessing as mp
 from collections import defaultdict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from time import perf_counter
 
 from repro.exec import shm as shm_codec
@@ -50,6 +51,15 @@ from repro.parallel.distribution import balance_grids, grid_work
 #: outstanding shared-memory tasks per worker before the dispatcher blocks
 #: and reclaims (bounds staging memory on grid-rich levels)
 PROCESS_WINDOW_PER_WORKER = 4
+
+
+def _run_task(task) -> None:
+    """Inline execution with error capture when the task supports it."""
+    run_safe = getattr(task, "run_safe", None)
+    if run_safe is not None:
+        run_safe()
+    else:
+        task.run_inline()
 
 
 # --------------------------------------------------------------------- pools
@@ -100,6 +110,8 @@ class ExecReport:
         #: True when tasks ran inline under the caller's component timers
         #: (serial path) — kernel seconds are then already attributed
         self.inline_timed = False
+        #: process-backend pools rebuilt after a worker death this dispatch
+        self.worker_restarts = 0
 
     def record(self, task, seconds: float, worker) -> None:
         self.task_times.append((task.kind, task.level, task.n_cells, seconds))
@@ -157,6 +169,7 @@ class StepExecStats:
         self.busy = 0.0
         self.wall = 0.0
         self.overhead = 0.0
+        self.worker_restarts = 0
         #: level -> [sum of busy_max, sum of busy_mean] across dispatches
         self.per_level: dict = defaultdict(lambda: [0.0, 0.0])
 
@@ -166,6 +179,7 @@ class StepExecStats:
         self.busy += report.busy_total
         self.wall += report.dispatch_wall
         self.overhead += report.overhead
+        self.worker_restarts += report.worker_restarts
         if level is not None and report.workers >= 1:
             acc = self.per_level[int(level)]
             acc[0] += report.busy_max
@@ -190,6 +204,8 @@ class StepExecStats:
                 if acc[1] > 0.0
             },
         }
+        if self.worker_restarts:
+            out["worker_restarts"] = self.worker_restarts
         return out
 
     def reset(self) -> None:
@@ -209,6 +225,9 @@ class ExecutionEngine:
         self.config = ExecConfig.resolve(config)
         self.calibrator = calibrator or WorkCalibrator()
         self.step_stats = StepExecStats()
+        #: optional callback(event_dict) for defense-relevant engine events
+        #: (worker restarts); wired up by the evolver when a ladder is active
+        self.on_event = None
 
     # ------------------------------------------------------------ lifecycle
     def begin_root_step(self) -> None:
@@ -284,9 +303,9 @@ class ExecutionEngine:
             t0 = perf_counter()
             if timers is not None:
                 with timers.section(task.kind):
-                    task.run_inline()
+                    _run_task(task)
             else:
-                task.run_inline()
+                _run_task(task)
             report.record(task, perf_counter() - t0, 0)
 
     # ------------------------------------------------------------- threads
@@ -298,7 +317,7 @@ class ExecutionEngine:
             times = []
             for task in queue:
                 t0 = perf_counter()
-                task.run_inline()
+                _run_task(task)
                 times.append(perf_counter() - t0)
             return times
 
@@ -313,22 +332,58 @@ class ExecutionEngine:
 
     # ----------------------------------------------------------- processes
     def _run_processes(self, tasks, report: ExecReport) -> None:
+        """Dispatch through the shared pool; survive one worker death.
+
+        A task whose kernel *raises* completes normally (the error travels
+        in the return payload — see :func:`run_packed_task`).  A task whose
+        worker *dies* (OOM killer, injected ``worker_kill``) breaks the
+        pool: every in-flight future fails.  The engine then rebuilds the
+        pool once and re-dispatches only the tasks that never finished —
+        their staged inputs were copies, so a retry is bit-exact — and
+        records a ``worker_restart`` event.  A second death aborts the
+        dispatch (a systematically lethal task must not loop forever).
+        """
+        pending = self._submission_order(tasks)
+        for attempt in range(2):
+            try:
+                self._process_pass(pending, report)
+                return
+            except BrokenProcessPool:
+                _POOLS.pop(("process", self.config.workers), None)
+                pending = [t for t in pending if not getattr(t, "done", True)]
+                if attempt == 1 or not pending:
+                    raise
+                report.worker_restarts += 1
+                if self.on_event is not None:
+                    self.on_event({
+                        "worker_restart": True,
+                        "retried_tasks": len(pending),
+                    })
+
+    def _process_pass(self, tasks, report: ExecReport) -> None:
         pool = _get_pool("process", self.config.workers)
         window = max(self.config.workers * PROCESS_WINDOW_PER_WORKER, 1)
-        ordered = self._submission_order(tasks)
         inflight: list = []
 
-        def reclaim(entry) -> None:
-            task, block, layout, future = entry
+        def reclaim() -> None:
+            # peek-then-pop so a raising future (dead worker) leaves the
+            # entry in ``inflight`` for the cleanup path to release
+            task, block, layout, future = inflight[0]
             out = future.result()
-            views = shm_codec.views_of(block, layout)
-            task.absorb(views, out["ret"])
-            del views
+            inflight.pop(0)
+            error = out.get("error")
+            if error is None:
+                views = shm_codec.views_of(block, layout)
+                task.absorb(views, out["ret"])
+                del views
+            else:
+                task.absorb_failure(error)
+            task.done = True
             shm_codec.release(block, unlink=True)
             report.record(task, out["seconds"], out["pid"])
 
         try:
-            for task in ordered:
+            for task in tasks:
                 kernel, arrays, outputs, meta = task.export()
                 block, layout = shm_codec.pack(arrays, outputs)
                 future = pool.submit(
@@ -336,16 +391,15 @@ class ExecutionEngine:
                 )
                 inflight.append((task, block, layout, future))
                 if len(inflight) >= window:
-                    reclaim(inflight.pop(0))
+                    reclaim()
             while inflight:
-                reclaim(inflight.pop(0))
+                reclaim()
         except Exception:
-            # a failed kernel (or broken pool) must not leak shared memory
+            # a broken pool must not leak shared memory
             for _task, block, _layout, future in inflight:
                 future.cancel()
                 try:
                     shm_codec.release(block, unlink=True)
                 except BufferError:
                     pass
-            _POOLS.pop(("process", self.config.workers), None)
             raise

@@ -15,12 +15,15 @@ identical to serial execution regardless of worker count or scheduling.
 from __future__ import annotations
 
 import os
+import pickle
+import signal
 from time import perf_counter
 
 import numpy as np
 
 from repro.exec import shm as shm_codec
 from repro.hydro.state import FieldSet, META_KEY
+from repro.runtime.faults import InjectedFaultError
 
 
 def _build_fields(views: dict, meta: dict) -> FieldSet:
@@ -52,15 +55,26 @@ def _hydro_kernel(views: dict, meta: dict):
         meta["permute"],
     )
     _sync_fields(fields, views, meta)
+    # parent-side fault decision: corrupt the named cell after the solve,
+    # exactly where the inline path does
+    plan = meta.get("fault_nan")
+    if plan is not None:
+        views[f"f:{plan['field']}"][tuple(plan["index"])] = np.nan
     # flux arrays are freshly computed (never shared-block views) but make
     # them contiguous so the return pickle is a straight memcpy
     return {
-        axis: {name: np.ascontiguousarray(arr) for name, arr in per.items()}
-        for axis, per in fluxes.fluxes.items()
+        "fluxes": {
+            axis: {name: np.ascontiguousarray(arr)
+                   for name, arr in per.items()}
+            for axis, per in fluxes.fluxes.items()
+        },
+        "diag": dict(fluxes.diagnostics),
     }
 
 
 def _chemistry_kernel(views: dict, meta: dict):
+    if meta.get("fault_raise"):
+        raise InjectedFaultError(meta["fault_raise"], ("worker",))
     fields = _build_fields(views, meta)
     stats = meta["network"].advance_fields(
         fields, meta["dt"], meta["units"], meta["a"]
@@ -85,12 +99,32 @@ KERNELS = {
 
 
 def run_packed_task(kernel: str, shm_name: str, layout, meta: dict) -> dict:
-    """Pool entry point: map the block, run the kernel, report timing."""
+    """Pool entry point: map the block, run the kernel, report timing.
+
+    Kernel exceptions are *returned* (``error`` key) rather than raised:
+    a raising future would poison the dispatch of every healthy sibling
+    grid, and the defense ladder needs per-task failure attribution.
+    """
+    if meta.pop("fault_kill", False):
+        # injected worker death: indistinguishable from the OOM killer
+        os.kill(os.getpid(), signal.SIGKILL)
     t0 = perf_counter()
     block, views = shm_codec.attach(shm_name, layout)
+    error = None
+    ret = None
     try:
-        ret = KERNELS[kernel](views, meta)
+        try:
+            ret = KERNELS[kernel](views, meta)
+        except Exception as exc:
+            try:  # ship the original exception when it pickles
+                pickle.dumps(exc)
+                error = exc
+            except Exception:
+                from repro.exec.tasks import TaskFailure
+
+                error = TaskFailure(f"{type(exc).__name__}: {exc}")
     finally:
         del views
         block.close()
-    return {"pid": os.getpid(), "seconds": perf_counter() - t0, "ret": ret}
+    return {"pid": os.getpid(), "seconds": perf_counter() - t0, "ret": ret,
+            "error": error}

@@ -27,16 +27,33 @@ import numpy as np
 
 from repro.hydro.ppm import StepFluxes
 from repro.hydro.state import META_KEY
+from repro.runtime import faults
+
+
+class TaskFailure(RuntimeError):
+    """Wrapper for a worker-side error that could not travel verbatim."""
 
 
 class GridTask:
-    """Base: scheduling metadata + the result slot."""
+    """Base: scheduling metadata + the result and error slots.
+
+    ``error`` is filled (and ``result`` left None) when the task's kernel
+    raised: the engine runs tasks through :meth:`run_safe` so one sick
+    grid cannot abort the dispatch of its healthy siblings — the defense
+    ladder (:mod:`repro.amr.defense`) decides afterwards whether to rescue
+    or re-raise.
+    """
 
     kind = "task"
 
     def __init__(self, grid):
         self.grid = grid
         self.result = None
+        self.error: BaseException | None = None
+        #: set once the task's result (or error) has been applied — the
+        #: process backend uses it to re-dispatch only unfinished tasks
+        #: after a worker death
+        self.done = False
 
     # ------------------------------------------------- scheduler interface
     @property
@@ -56,6 +73,15 @@ class GridTask:
         return tuple(int(s) for s in self.grid.start_index)
 
     # --------------------------------------------------------------- paths
+    def run_safe(self) -> None:
+        """Run inline, capturing any kernel exception into ``error``."""
+        try:
+            self.run_inline()
+        except Exception as exc:
+            self.result = None
+            self.error = exc
+        self.done = True
+
     def run_inline(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -76,6 +102,22 @@ class GridTask:
         for name, arr in self.grid.fields.array_items():
             arr[...] = views[f"f:{name}"]
 
+    def _fault_meta(self, meta: dict) -> dict:
+        """Attach parent-side fault decisions for the worker kernel.
+
+        The decision to fire is taken here — in deterministic submission
+        context, one ``take()`` per task exactly like the inline path — so
+        which task fails never depends on worker scheduling.
+        """
+        if faults.take("worker_kill", self.level, self.grid_id) is not None:
+            meta["fault_kill"] = True
+        return meta
+
+    def absorb_failure(self, error: BaseException) -> None:
+        """Record a worker-side kernel error (process backend)."""
+        self.result = None
+        self.error = error
+
 
 class HydroTask(GridTask):
     """One solver step on one grid; result is the StepFluxes."""
@@ -92,11 +134,18 @@ class HydroTask(GridTask):
         self.accel = accel
         self.permute = int(permute)
 
+    def _nan_fault_plan(self):
+        return faults.plan_nan_cell(
+            self.level, self.grid_id,
+            tuple(int(d) for d in self.grid.dims), self.grid.nghost,
+        )
+
     def run_inline(self) -> None:
         self.result = self.solver.step(
             self.grid.fields, self.grid.dx, self.dt, self.a, self.adot,
             self.accel, self.permute,
         )
+        faults.apply_nan_cell(self.grid.fields, self._nan_fault_plan())
 
     def export(self):
         arrays = self._export_fields()
@@ -113,12 +162,18 @@ class HydroTask(GridTask):
             "permute": self.permute,
             "has_accel": self.accel is not None,
         }
-        return "hydro", arrays, {}, meta
+        # fault decisions are taken parent-side (deterministic submission
+        # context); the worker only applies what the meta tells it to
+        plan = self._nan_fault_plan()
+        if plan is not None:
+            meta["fault_nan"] = plan
+        return "hydro", arrays, {}, self._fault_meta(meta)
 
     def absorb(self, views: dict, ret) -> None:
         self._absorb_fields(views)
         out = StepFluxes()
-        out.fluxes = ret
+        out.fluxes = ret["fluxes"]
+        out.diagnostics = dict(ret.get("diag") or {})
         self.result = out
 
 
@@ -135,6 +190,7 @@ class ChemistryTask(GridTask):
         self.a = float(a)
 
     def run_inline(self) -> None:
+        faults.maybe_raise("chem_blowup", self.level, self.grid_id)
         self.result = self.network.advance_fields(
             self.grid.fields, self.dt_code, self.units, self.a
         )
@@ -148,7 +204,9 @@ class ChemistryTask(GridTask):
             "dt": self.dt_code,
             "a": self.a,
         }
-        return "chemistry", self._export_fields(), {}, meta
+        if faults.take("chem_blowup", self.level, self.grid_id) is not None:
+            meta["fault_raise"] = "chem_blowup"
+        return "chemistry", self._export_fields(), {}, self._fault_meta(meta)
 
     def absorb(self, views: dict, ret) -> None:
         self._absorb_fields(views)
@@ -172,7 +230,7 @@ class GravityAccelTask(GridTask):
         arrays = {"phi": self.grid.phi}
         outputs = {"acc": ((3,) + self.grid.phi.shape, "<f8")}
         meta = {"dx": float(self.grid.dx), "a": self.a}
-        return "gravity", arrays, outputs, meta
+        return "gravity", arrays, outputs, self._fault_meta(meta)
 
     def absorb(self, views: dict, ret) -> None:
         self.result = views["acc"].copy()

@@ -11,12 +11,19 @@ iterative sibling-boundary exchange.
 """
 
 from repro.gravity.fft_poisson import solve_periodic, gravity_source
-from repro.gravity.multigrid import MultigridSolver, solve_dirichlet
+from repro.gravity.multigrid import (
+    MultigridConvergenceError,
+    MultigridDiagnostics,
+    MultigridSolver,
+    solve_dirichlet,
+)
 from repro.gravity.gradient import acceleration_from_potential, laplacian
 
 __all__ = [
     "solve_periodic",
     "gravity_source",
+    "MultigridConvergenceError",
+    "MultigridDiagnostics",
     "MultigridSolver",
     "solve_dirichlet",
     "acceleration_from_potential",

@@ -13,8 +13,56 @@ parent grid (and corrected by sibling exchange at the AMR layer).
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 
 import numpy as np
+
+
+@dataclass
+class MultigridDiagnostics:
+    """What one :meth:`MultigridSolver.solve` call actually did.
+
+    ``residual`` is the final relative L2 residual (vs the source norm);
+    ``converged`` records whether it reached ``tol`` within ``cycles`` of
+    the ``budget`` V-cycles allowed for the call.
+    """
+
+    cycles: int
+    budget: int
+    residual: float
+    tol: float
+    converged: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "budget": self.budget,
+            "residual": self.residual,
+            "tol": self.tol,
+            "converged": self.converged,
+        }
+
+
+class MultigridConvergenceError(RuntimeError):
+    """The V-cycle budget ran out above tolerance (strict mode only).
+
+    Carries the full :class:`MultigridDiagnostics` plus the best-effort
+    rim-padded solution (``phi``) so callers can retry with a larger
+    budget — or, as a last resort, accept the unconverged potential with
+    the residual on record instead of silently.
+    """
+
+    def __init__(self, diagnostics: MultigridDiagnostics, phi: np.ndarray,
+                 site=None):
+        self.diagnostics = diagnostics
+        self.phi = phi
+        self.site = site
+        where = f" at {site}" if site is not None else ""
+        super().__init__(
+            f"multigrid failed to converge{where}: relative residual "
+            f"{diagnostics.residual:.3e} > tol {diagnostics.tol:.1e} after "
+            f"{diagnostics.cycles}/{diagnostics.budget} V-cycles"
+        )
 
 #: red/black checkerboard masks per interior shape.  The V-cycle smooths
 #: the same handful of shapes thousands of times per solve; rebuilding
@@ -153,11 +201,17 @@ class MultigridSolver:
         ``"trilinear"`` (default) interpolates the coarse-grid correction;
         ``"constant"`` is the legacy piecewise-constant injection (kept
         for comparison — it needs measurably more V-cycles).
+    strict:
+        When True, exhausting the V-cycle budget above tolerance raises
+        :class:`MultigridConvergenceError` (carrying the diagnostics and
+        the best-effort solution) instead of returning silently.  Default
+        False preserves the legacy silent behaviour; per-call override via
+        ``solve(..., strict=...)``.
     """
 
     def __init__(self, pre_sweeps: int = 3, post_sweeps: int = 3, tol: float = 1e-8,
                  max_cycles: int = 60, min_size: int = 4,
-                 prolongation: str = "trilinear"):
+                 prolongation: str = "trilinear", strict: bool = False):
         if prolongation not in ("trilinear", "constant"):
             raise ValueError(f"unknown prolongation {prolongation!r}")
         self.pre = pre_sweeps
@@ -166,27 +220,49 @@ class MultigridSolver:
         self.max_cycles = max_cycles
         self.min_size = min_size
         self.prolongation = prolongation
+        self.strict = bool(strict)
         self.last_cycles = 0
         self.last_residual = np.inf
+        self.last_diagnostics: MultigridDiagnostics | None = None
 
-    def solve(self, source: np.ndarray, dx: float, boundary: np.ndarray) -> np.ndarray:
+    def solve(self, source: np.ndarray, dx: float, boundary: np.ndarray,
+              strict: bool | None = None, max_cycles: int | None = None,
+              site=None, force_diverge: bool = False) -> np.ndarray:
         """Solve with the given rim-padded boundary/initial-guess array.
 
         ``boundary`` has shape ``source.shape + 2`` in every dimension; its
         rim cells are held fixed (Dirichlet) and its interior is the initial
         guess.  Returns the rim-padded solution (a copy).
+
+        ``strict``/``max_cycles`` override the instance defaults for this
+        call; ``site`` labels any raised error (e.g. ``(level, grid_id)``);
+        ``force_diverge`` is the fault-injection hook — the cycles run but
+        convergence is reported as never reached.
         """
         if boundary.shape != tuple(s + 2 for s in source.shape):
             raise ValueError("boundary must pad source by one cell per side")
+        strict = self.strict if strict is None else bool(strict)
+        budget = self.max_cycles if max_cycles is None else int(max_cycles)
         phi = boundary.astype(float).copy()
         norm = float(np.sqrt((source**2).mean())) or 1.0
-        for cycle in range(1, self.max_cycles + 1):
+        converged = False
+        for cycle in range(1, budget + 1):
             self._vcycle(phi, source, dx)
             res = float(np.sqrt((_residual(phi, source, dx) ** 2).mean()))
             self.last_cycles = cycle
             self.last_residual = res / norm
-            if res <= self.tol * norm:
+            if res <= self.tol * norm and not force_diverge:
+                converged = True
                 break
+            if strict and not np.isfinite(res):
+                break  # NaN/Inf never converges; fail fast, don't burn budget
+        self.last_diagnostics = MultigridDiagnostics(
+            cycles=self.last_cycles, budget=budget,
+            residual=self.last_residual, tol=self.tol, converged=converged,
+        )
+        if strict and not converged:
+            raise MultigridConvergenceError(self.last_diagnostics, phi,
+                                            site=site)
         return phi
 
     def _vcycle(self, phi: np.ndarray, source: np.ndarray, dx: float) -> None:

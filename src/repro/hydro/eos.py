@@ -17,11 +17,18 @@ def sound_speed(internal_energy, gamma: float = const.GAMMA) -> np.ndarray:
     return np.sqrt(gamma * (gamma - 1.0) * np.maximum(np.asarray(internal_energy), 0.0))
 
 
-def internal_energy_floor(fields, floor: float = 1e-30) -> None:
-    """Clamp internal (and rebuild total) energy above a positive floor."""
+def internal_energy_floor(fields, floor: float = 1e-30) -> int:
+    """Clamp internal (and rebuild total) energy above a positive floor.
+
+    Returns the number of cells whose internal energy the floor actually
+    changed, so solvers can publish floor-activation counts (silent floor
+    abuse is the usual prelude to a NaN).
+    """
+    activated = int(np.count_nonzero(fields["internal"] < floor))
     np.maximum(fields["internal"], floor, out=fields["internal"])
     kinetic = 0.5 * (fields["vx"] ** 2 + fields["vy"] ** 2 + fields["vz"] ** 2)
     np.maximum(fields["energy"], fields["internal"] + kinetic, out=fields["energy"])
+    return activated
 
 
 def effective_gamma(h2_fraction, temperature=None) -> np.ndarray:

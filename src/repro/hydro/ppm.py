@@ -35,13 +35,23 @@ class StepFluxes:
     ``axis`` and interior extents transversally.  The cell update applied by
     the solver was ``U -= diff(flux, axis) / dx`` — the AMR flux-correction
     step reuses exactly these arrays.
+
+    ``diagnostics`` carries per-step solver health counters — how many
+    cells/faces each positivity floor actually changed — so creeping floor
+    abuse is visible in telemetry long before it becomes a NaN.
     """
 
     fluxes: dict = field(default_factory=dict)
+    diagnostics: dict = field(default_factory=dict)
 
     def names(self):
         first = next(iter(self.fluxes.values()))
         return list(first.keys())
+
+    def add_diagnostics(self, counts: dict) -> None:
+        for key, value in counts.items():
+            if value:
+                self.diagnostics[key] = self.diagnostics.get(key, 0) + int(value)
 
 
 class PPMSolver:
@@ -118,14 +128,18 @@ class PPMSolver:
 
         order = [(permute + k) % 3 for k in range(3)]
         for axis in order:
-            out.fluxes[AXIS_NAMES[axis]] = self._sweep(fields, axis, dx, dt, a)
+            fluxes, floor_counts = self._sweep(fields, axis, dx, dt, a)
+            out.fluxes[AXIS_NAMES[axis]] = fluxes
+            out.add_diagnostics(floor_counts)
 
         if accel is not None:
             apply_acceleration(fields, accel, 0.5 * dt)
 
         apply_expansion_drag(fields, a, adot, dt, self.gamma)
         sync_internal_from_total(fields, self.dual_energy_eta, self.energy_floor)
-        internal_energy_floor(fields, self.energy_floor)
+        out.add_diagnostics(
+            {"internal_floor": internal_energy_floor(fields, self.energy_floor)}
+        )
         return out
 
     # ------------------------------------------------------------- internals
@@ -170,9 +184,19 @@ class PPMSolver:
                 states_l.append(ql)
                 states_r.append(qr)
         # positivity at faces
+        floor_counts = {
+            "face_density_floor": (
+                int(np.count_nonzero(states_l[0] < self.density_floor))
+                + int(np.count_nonzero(states_r[0] < self.density_floor))
+            ),
+        }
         states_l[0] = np.maximum(states_l[0], self.density_floor)
         states_r[0] = np.maximum(states_r[0], self.density_floor)
         p_floor = (gamma - 1.0) * self.density_floor * self.energy_floor
+        floor_counts["face_pressure_floor"] = (
+            int(np.count_nonzero(states_l[4] < p_floor))
+            + int(np.count_nonzero(states_r[4] < p_floor))
+        )
         states_l[4] = np.maximum(states_l[4], p_floor)
         states_r[4] = np.maximum(states_r[4], p_floor)
 
@@ -217,6 +241,9 @@ class PPMSolver:
         eint_c = rho * e_int
 
         rho_new = rho[upd] + d_rho
+        floor_counts["density_floor"] = int(
+            np.count_nonzero(rho_new < self.density_floor)
+        )
         rho_new = np.maximum(rho_new, self.density_floor)
         mom_u_new = mom_u[upd] - k * dflux(f_mu)
         mom_v_new = mom_v[upd] - k * dflux(f_mv)
@@ -228,13 +255,21 @@ class PPMSolver:
             - k * dflux(f_eint)
             - p[upd] * k * dflux(u_face)
         )
-        eint_new = np.maximum(eint_new, self.density_floor * self.energy_floor)
+        eint_floor = self.density_floor * self.energy_floor
+        floor_counts["internal_floor"] = int(
+            np.count_nonzero(eint_new < eint_floor)
+        )
+        eint_new = np.maximum(eint_new, eint_floor)
 
         rho[upd] = rho_new
         u[upd] = mom_u_new / rho_new
         v[upd] = mom_v_new / rho_new
         w[upd] = mom_w_new / rho_new
-        e_tot[upd] = np.maximum(etot_new / rho_new, self.energy_floor)
+        etot_spec = etot_new / rho_new
+        floor_counts["energy_floor"] = int(
+            np.count_nonzero(etot_spec < self.energy_floor)
+        )
+        e_tot[upd] = np.maximum(etot_spec, self.energy_floor)
         e_int[upd] = eint_new / rho_new
         for name in fields.advected:
             q = fwd(fields[name])
@@ -256,7 +291,7 @@ class PPMSolver:
         out = {}
         for fname, arr in named.items():
             out[fname] = (dt / a) * np.moveaxis(arr[face_sl], 0, axis)
-        return out
+        return out, floor_counts
 
     def _contact_speed(self, states_l, states_r):
         rho_l, u_l, _, _, p_l = states_l

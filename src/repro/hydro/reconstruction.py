@@ -31,6 +31,18 @@ def _mc_limiter(dq_minus, dq_plus):
     return _minmod(dq_c, lim)
 
 
+def flat_reconstruct(q: np.ndarray):
+    """First-order (piecewise-constant / donor-cell) interface states.
+
+    The most robust reconstruction there is — no new extrema can ever be
+    introduced — used by the defense ladder when a higher-order update has
+    produced an invalid state on a grid.
+    """
+    if q.shape[0] < 2:
+        raise ValueError("need at least 2 cells along the sweep axis")
+    return q[:-1].copy(), q[1:].copy()
+
+
 def plm_reconstruct(q: np.ndarray):
     """Piecewise-linear MUSCL states with the MC limiter.
 
@@ -149,9 +161,11 @@ def apply_flattening(q_l: np.ndarray, q_r: np.ndarray, q: np.ndarray,
 
 
 def reconstruct(q: np.ndarray, method: str = "ppm"):
-    """Dispatch by name ('ppm' or 'plm')."""
+    """Dispatch by name ('ppm', 'plm' or first-order 'flat')."""
     if method == "ppm":
         return ppm_reconstruct(q)
     if method == "plm":
         return plm_reconstruct(q)
+    if method == "flat":
+        return flat_reconstruct(q)
     raise ValueError(f"unknown reconstruction '{method}'")

@@ -14,6 +14,48 @@ from __future__ import annotations
 import numpy as np
 
 
+class RiemannInputError(FloatingPointError):
+    """Interface states handed to a Riemann solver are unusable.
+
+    Structured failure signal for the defense ladder: names which primitive
+    went bad (non-finite, or non-positive density/pressure) so an escalation
+    event can say *what* broke, not just that a NaN appeared downstream.
+    """
+
+    def __init__(self, bad: dict):
+        self.bad = dict(bad)
+        detail = ", ".join(f"{k}: {v} cells" for k, v in self.bad.items())
+        super().__init__(f"invalid Riemann input states ({detail})")
+
+
+def validate_states(left, right) -> dict:
+    """Count invalid face states per primitive; empty dict means healthy.
+
+    Used by the defense ladder's diagnosis step (not on the hot path): the
+    returned mapping counts faces with non-finite entries, plus faces with
+    non-positive density or pressure.
+    """
+    bad: dict = {}
+    names = ("rho", "u", "v", "w", "p")
+    for side, states in (("L", left), ("R", right)):
+        for name, arr in zip(names, states):
+            n = int(np.count_nonzero(~np.isfinite(arr)))
+            if n:
+                bad[f"{side}.{name}.nonfinite"] = n
+        for name, arr in (("rho", states[0]), ("p", states[4])):
+            n = int(np.count_nonzero(np.asarray(arr) <= 0.0))
+            if n:
+                bad[f"{side}.{name}.nonpositive"] = n
+    return bad
+
+
+def check_states(left, right) -> None:
+    """Raise :class:`RiemannInputError` if the face states are invalid."""
+    bad = validate_states(left, right)
+    if bad:
+        raise RiemannInputError(bad)
+
+
 def _conserved_flux(rho, u, v, w, p, gamma):
     """Physical Euler flux of the conserved vector given primitives."""
     e_total = p / ((gamma - 1.0) * rho) + 0.5 * (u * u + v * v + w * w)

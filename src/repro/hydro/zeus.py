@@ -68,12 +68,19 @@ class ZeusSolver:
             self._source_step(fields, axis, dx, dt, a)
         out = StepFluxes()
         for axis in order:
-            out.fluxes[AXIS_NAMES[axis]] = self._transport_step(fields, axis, dx, dt, a)
+            fluxes, floor_counts = self._transport_step(fields, axis, dx, dt, a)
+            out.fluxes[AXIS_NAMES[axis]] = fluxes
+            out.add_diagnostics(floor_counts)
 
         if accel is not None:
             apply_acceleration(fields, accel, 0.5 * dt)
 
         apply_expansion_drag(fields, a, adot, dt, self.gamma)
+        out.add_diagnostics({
+            "internal_floor": int(
+                np.count_nonzero(fields["internal"] < self.energy_floor)
+            ),
+        })
         fields["internal"] = np.maximum(fields["internal"], self.energy_floor)
         fields["energy"] = total_energy(fields)
         return out
@@ -161,7 +168,11 @@ class ZeusSolver:
             return np.diff(f[fsl], axis=0)
 
         rho_old = rho.copy()
-        rho[upd] = np.maximum(rho_old[upd] - k * dflux(f_rho), self.density_floor)
+        rho_new = rho_old[upd] - k * dflux(f_rho)
+        floor_counts = {
+            "density_floor": int(np.count_nonzero(rho_new < self.density_floor)),
+        }
+        rho[upd] = np.maximum(rho_new, self.density_floor)
 
         for name, q in specific.items():
             q_face = vanleer_face(q)
@@ -173,7 +184,11 @@ class ZeusSolver:
         for name in fields.advected:
             arr = fwd(fields[name])
             arr[upd] = np.maximum(specific[name][upd] * rho[upd], 0.0)
-        np.maximum(fwd(fields["internal"]), self.energy_floor, out=fwd(fields["internal"]))
+        e_arr = fwd(fields["internal"])
+        floor_counts["internal_floor"] = int(
+            np.count_nonzero(e_arr < self.energy_floor)
+        )
+        np.maximum(e_arr, self.energy_floor, out=e_arr)
 
         face_sl = (slice(ng - 1, n - ng),) + tuple(
             slice(ng, s - ng) for s in rho.shape[1:]
@@ -183,4 +198,4 @@ class ZeusSolver:
             out[fname] = (dt / a) * np.moveaxis(arr[face_sl], 0, axis)
         # approximate energy flux for the flux-correction bookkeeping
         out["energy"] = out["internal"]
-        return out
+        return out, floor_counts

@@ -17,18 +17,19 @@ per-cycle logs an operator can tail.  This package is that layer:
   (``summarise``, ``read_events``) behind ``python -m repro tail``.
 """
 
+from repro.runtime import faults
 from repro.runtime.checkpoint_policy import (
     CheckpointPolicy,
     RunState,
     restore_rng_state,
     serialize_rng_state,
 )
-from repro.runtime.controller import RunController
 from repro.runtime.recovery import (
     NonFiniteStateError,
     RecoveryPolicy,
     RunFailedError,
     SignalGuard,
+    StateCorruptionError,
     Watchdog,
 )
 from repro.runtime.telemetry import (
@@ -47,10 +48,24 @@ __all__ = [
     "SignalGuard",
     "NonFiniteStateError",
     "RunFailedError",
+    "StateCorruptionError",
     "TelemetryWriter",
+    "faults",
     "read_events",
     "summarise",
     "telemetry_path",
     "serialize_rng_state",
     "restore_rng_state",
 ]
+
+
+def __getattr__(name: str):
+    # RunController pulls in repro.io.checkpoint, which imports repro.amr —
+    # whose exec layer imports this package for the fault-injection hooks.
+    # Resolving it lazily keeps the package init dependency-light so either
+    # side of that cycle can be imported first.
+    if name == "RunController":
+        from repro.runtime.controller import RunController
+
+        return RunController
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

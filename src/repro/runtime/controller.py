@@ -34,12 +34,14 @@ import os
 import time
 from collections import defaultdict
 
+from repro.gravity.multigrid import MultigridConvergenceError
 from repro.io.checkpoint import (
     CheckpointError,
     load_hierarchy,
     save_hierarchy,
 )
 from repro.precision.doubledouble import DoubleDouble
+from repro.runtime.faults import take as _take_fault
 from repro.runtime.checkpoint_policy import (
     CheckpointPolicy,
     RunState,
@@ -159,7 +161,8 @@ class RunController:
                     dt = ev.advance_root_step(self.t_end)
                     if dt is not None:
                         self.watchdog.check(ev.hierarchy, dt)
-                except (FloatingPointError, NonFiniteStateError) as exc:
+                except (FloatingPointError, NonFiniteStateError,
+                        MultigridConvergenceError) as exc:
                     self._recover(str(exc))
                     continue
                 if dt is None:  # root clock has reached t_end
@@ -168,6 +171,7 @@ class RunController:
                 if self.step > self._highest_failed_step:
                     self._retries = 0
                 self.telemetry.emit("step", **step_record(ev, self.step, dt))
+                self._drain_defense(self.step)
                 if self.policy.due(self.step):
                     self._checkpoint()
                 if guard.triggered:
@@ -191,6 +195,14 @@ class RunController:
             self.telemetry.close()
         return summary
 
+    def _drain_defense(self, step: int) -> None:
+        """Forward queued defense-ladder events into the telemetry stream."""
+        defense = getattr(self.evolver, "defense", None)
+        if defense is None or self.telemetry is None:
+            return
+        for event in defense.drain_events():
+            self.telemetry.emit("defense", step=step, **event)
+
     # ----------------------------------------------------------- checkpoint
     def _checkpoint(self) -> str:
         """Write the (hierarchy, RunState) pair for the current step."""
@@ -200,6 +212,12 @@ class RunController:
         state_path = self.policy.state_path(self.run_dir, self.step)
         save_hierarchy(self.evolver.hierarchy, data_path,
                        timers=self.evolver.timers)
+        if _take_fault("checkpoint_truncate", step=self.step) is not None:
+            # injected disk-full/torn-write: chop the npz in half so
+            # recovery must skip this pair and fall back to an older one
+            size = os.path.getsize(data_path)
+            with open(data_path, "r+b") as fh:
+                fh.truncate(max(size // 2, 1))
         state = RunState.capture(
             self.evolver,
             step=self.step,
@@ -261,6 +279,9 @@ class RunController:
     def _recover(self, reason: str) -> None:
         """Roll back to the last good checkpoint and retry, CFL reduced."""
         failed_step = self.step + 1
+        # events queued by the failed step must not be attributed to the
+        # replayed one
+        self._drain_defense(failed_step)
         self._highest_failed_step = max(self._highest_failed_step,
                                         failed_step)
         if self._retries >= self.recovery.max_retries:

@@ -1,0 +1,290 @@
+"""Deterministic, seeded fault injection for chaos-testing the defense ladder.
+
+Production AMR runs die in a handful of well-known ways: a hydro update
+goes NaN on a deep subgrid, the multigrid solver burns its cycle budget
+without converging, the chemistry integrator blows up on a pathological
+cell, a pool worker is OOM-killed mid-task, a checkpoint is truncated by a
+full disk.  This module lets CI *cause* each of those failures on demand —
+at an exact (level, grid id, per-level step) site, a deterministic number
+of times — so every rung of the grid-scoped defense ladder
+(:mod:`repro.amr.defense`) can be proven to fire and recover.
+
+Fault kinds
+-----------
+``nan_cell``
+    Corrupt one deterministic interior cell of a grid's density field with
+    NaN after the hydro task completes.  Repeated firings at the same site
+    drive the ladder up one rung per firing (see ``docs/ROBUSTNESS.md``).
+``mg_diverge``
+    Force one multigrid solve to report non-convergence (budget exhausted)
+    so the doubled-budget retry path runs.
+``chem_blowup``
+    Raise :class:`InjectedFaultError` from a chemistry task before the
+    network integrates (the state is untouched, as with a real stiff-solver
+    overflow raised from :func:`numpy.linalg.solve`).
+``worker_kill``
+    SIGKILL the process-backend worker that picks up the task, exercising
+    the engine's reschedule-on-worker-death path.
+``checkpoint_truncate``
+    Truncate the checkpoint npz written for a matching root step, so
+    recovery must skip it and fall back to an older checkpoint.
+
+Configuration
+-------------
+Programmatic::
+
+    from repro.runtime import faults
+    faults.install(faults.FaultInjector([
+        faults.FaultSpec("nan_cell", level=0, grid_id=0, step=1, count=2),
+    ]))
+
+or from the environment (read lazily on first use)::
+
+    REPRO_FAULTS="nan_cell:level=0,grid=0,step=1,count=2;mg_diverge:level=1"
+    REPRO_FAULTS_SEED=42
+
+Determinism: which cell a ``nan_cell`` firing corrupts depends only on the
+injector seed, the site, and how many times that site has fired — never on
+scheduling order — so serial/thread/process backends corrupt the *same*
+cell.  Specs should pin ``level``/``grid``/``step`` for full determinism
+under parallel dispatch; an unpinned spec is consumed by whichever matching
+site queries first.
+
+This module deliberately imports nothing from the rest of ``repro`` so any
+layer (hydro tasks, the multigrid solver, the exec engine, the run
+controller) can hook into it without import cycles.  With no injector
+installed every hook is a single ``is None`` check.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+ENV_FAULTS = "REPRO_FAULTS"
+ENV_FAULTS_SEED = "REPRO_FAULTS_SEED"
+
+#: fault kinds the hooks understand (parse-time validation)
+FAULT_KINDS = (
+    "nan_cell",
+    "mg_diverge",
+    "chem_blowup",
+    "worker_kill",
+    "checkpoint_truncate",
+)
+
+
+class InjectedFaultError(RuntimeError):
+    """Raised by hooks that simulate a component blowing up."""
+
+    def __init__(self, kind: str, site: tuple):
+        self.kind = kind
+        self.site = site
+        super().__init__(f"injected fault {kind!r} at site {site}")
+
+
+@dataclass
+class FaultSpec:
+    """One addressable fault: kind + optional site filter + firing budget.
+
+    ``level``/``grid_id``/``step`` of ``None`` match any value; ``step`` is
+    the *per-level* step counter for in-step faults and the root-step
+    number for controller-level faults (``checkpoint_truncate``).
+    ``count`` is the total number of firings before the spec goes inert.
+    """
+
+    kind: str
+    level: int | None = None
+    grid_id: int | None = None
+    step: int | None = None
+    count: int = 1
+    remaining: int = field(init=False)
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.count < 1:
+            raise ValueError("fault count must be >= 1")
+        self.remaining = int(self.count)
+
+    def matches(self, level, grid_id, step) -> bool:
+        if self.remaining <= 0:
+            return False
+        if self.level is not None and level != self.level:
+            return False
+        if self.grid_id is not None and grid_id != self.grid_id:
+            return False
+        if self.step is not None and step != self.step:
+            return False
+        return True
+
+
+class FaultInjector:
+    """Holds the live fault specs and answers "does X fail here, now?".
+
+    The injector also keeps a per-site fire counter so payloads that need
+    randomness (the ``nan_cell`` target cell) can derive a fresh,
+    order-independent RNG per firing.
+    """
+
+    def __init__(self, specs=(), seed: int | None = None):
+        self.specs = list(specs)
+        if seed is None:
+            env = os.environ.get(ENV_FAULTS_SEED, "").strip()
+            seed = int(env) if env else 0
+        self.seed = int(seed)
+        #: (kind, level, grid_id) -> number of firings so far
+        self.site_fires: dict[tuple, int] = {}
+        #: every firing, in order, for test assertions
+        self.fired: list[dict] = []
+        #: level -> current per-level step counter (set by the evolver)
+        self._step_ctx: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- context
+    def set_step(self, level: int, step: int) -> None:
+        """Publish the per-level step counter in-step hooks match against."""
+        self._step_ctx[int(level)] = int(step)
+
+    # -------------------------------------------------------------- firing
+    def take(self, kind: str, level=None, grid_id=None, step=None):
+        """Consume one firing of a matching spec, or return ``None``.
+
+        ``step`` defaults to the published per-level step context for
+        ``level``; controller-level hooks pass it explicitly.
+        """
+        if step is None and level is not None:
+            step = self._step_ctx.get(int(level))
+        with self._lock:
+            for spec in self.specs:
+                if spec.kind == kind and spec.matches(level, grid_id, step):
+                    spec.remaining -= 1
+                    site = (kind, level, grid_id)
+                    fire_index = self.site_fires.get(site, 0)
+                    self.site_fires[site] = fire_index + 1
+                    record = {
+                        "kind": kind,
+                        "level": level,
+                        "grid_id": grid_id,
+                        "step": step,
+                        "fire_index": fire_index,
+                    }
+                    self.fired.append(record)
+                    return record
+        return None
+
+    # ------------------------------------------------------------ payloads
+    def plan_nan_cell(self, level, grid_id, interior_shape, nghost: int):
+        """Decide the absolute (ghost-inclusive) cell a firing corrupts.
+
+        Returns ``{"field": name, "index": (i, j, k)}`` or ``None``.  The
+        cell is drawn from an RNG seeded by (injector seed, site, firing
+        number), so it does not depend on dispatch order or backend.
+        """
+        fire = self.take("nan_cell", level=level, grid_id=grid_id)
+        if fire is None:
+            return None
+        rng = np.random.default_rng(
+            [self.seed, fire["fire_index"],
+             (level if level is not None else -1) + 1,
+             (grid_id if grid_id is not None else -1) + 1]
+        )
+        ijk = tuple(
+            int(rng.integers(0, s)) + int(nghost) for s in interior_shape
+        )
+        return {"field": "density", "index": ijk}
+
+
+# ------------------------------------------------------------- global state
+_UNSET = object()
+_INJECTOR = _UNSET
+_INSTALL_LOCK = threading.Lock()
+
+
+def install(injector: FaultInjector | None) -> None:
+    """Install (or clear, with ``None``) the process-wide injector."""
+    global _INJECTOR
+    with _INSTALL_LOCK:
+        _INJECTOR = injector
+
+
+def clear() -> None:
+    install(None)
+
+
+def active() -> FaultInjector | None:
+    """The installed injector, lazily built from ``REPRO_FAULTS`` once."""
+    global _INJECTOR
+    if _INJECTOR is _UNSET:
+        with _INSTALL_LOCK:
+            if _INJECTOR is _UNSET:
+                _INJECTOR = from_env()
+    return _INJECTOR
+
+
+def from_env() -> FaultInjector | None:
+    spec = os.environ.get(ENV_FAULTS, "").strip()
+    if not spec:
+        return None
+    return FaultInjector(parse_spec(spec))
+
+
+def parse_spec(text: str) -> list[FaultSpec]:
+    """Parse the compact CLI/env fault syntax.
+
+    ``kind[:key=value,...]`` tokens joined by ``;`` — keys are ``level``,
+    ``grid``, ``step``, ``count``.  Example::
+
+        nan_cell:level=1,grid=3,step=2,count=4;mg_diverge:level=1
+    """
+    specs: list[FaultSpec] = []
+    for token in text.split(";"):
+        token = token.strip()
+        if not token:
+            continue
+        kind, _, rest = token.partition(":")
+        kwargs: dict = {}
+        for item in filter(None, (p.strip() for p in rest.split(","))):
+            key, _, value = item.partition("=")
+            key = {"grid": "grid_id"}.get(key.strip(), key.strip())
+            if key not in ("level", "grid_id", "step", "count"):
+                raise ValueError(f"unknown fault spec key {key!r} in {token!r}")
+            kwargs[key] = int(value)
+        specs.append(FaultSpec(kind.strip(), **kwargs))
+    return specs
+
+
+# ----------------------------------------------------------- hook shortcuts
+def take(kind: str, level=None, grid_id=None, step=None):
+    """Module-level ``take`` against the active injector (``None`` if none)."""
+    inj = active()
+    if inj is None:
+        return None
+    return inj.take(kind, level=level, grid_id=grid_id, step=step)
+
+
+def maybe_raise(kind: str, level=None, grid_id=None) -> None:
+    """Raise :class:`InjectedFaultError` if a matching spec fires."""
+    fire = take(kind, level=level, grid_id=grid_id)
+    if fire is not None:
+        raise InjectedFaultError(kind, (level, grid_id, fire.get("step")))
+
+
+def plan_nan_cell(level, grid_id, interior_shape, nghost: int):
+    inj = active()
+    if inj is None:
+        return None
+    return inj.plan_nan_cell(level, grid_id, interior_shape, nghost)
+
+
+def apply_nan_cell(fields, plan: dict | None) -> None:
+    """Apply a planned corruption to a FieldSet / dict of ndarrays."""
+    if plan is None:
+        return
+    fields[plan["field"]][tuple(plan["index"])] = np.nan

@@ -19,6 +19,26 @@ class NonFiniteStateError(RuntimeError):
     """The watchdog found NaN/Inf in the evolved state (or in dt)."""
 
 
+class StateCorruptionError(NonFiniteStateError):
+    """Every rung of the grid-scoped defense ladder failed on one grid.
+
+    Raised by :class:`repro.amr.defense.DefenseLadder` only after the
+    half-dt retry, the first-order retry, the ZEUS fallback *and* the
+    conservative floor repair all left the grid invalid — the signal for
+    the controller to fall back to PR-2 root-step rollback.  Subclasses
+    :class:`NonFiniteStateError` so the controller's recovery path catches
+    it without special-casing.
+    """
+
+    def __init__(self, message: str, level: int | None = None,
+                 grid_id: int | None = None, rungs=()):
+        super().__init__(message)
+        self.level = level
+        self.grid_id = grid_id
+        #: the rungs that were attempted before giving up
+        self.rungs = tuple(rungs)
+
+
 class RunFailedError(RuntimeError):
     """Recovery retries are exhausted; the run cannot make progress."""
 

@@ -106,6 +106,11 @@ def step_record(evolver, step: int, dt: float) -> dict:
         snap = chem_stats.snapshot()
         snap["active_fraction_mean"] = round(snap["active_fraction_mean"], 6)
         record["chemistry"] = snap
+    defense = getattr(evolver, "defense", None)
+    if defense is not None:
+        snap = defense.snapshot()
+        if snap:
+            record["defense"] = snap
     if evolver.timers is not None:
         record["timers"] = {
             k: round(v, 6) for k, v in evolver.timers.fractions().items()
@@ -141,11 +146,13 @@ def summarise(run_dir_or_path: str) -> dict:
     steps = [e for e in events if e.get("event") == "step"]
     checkpoints = [e for e in events if e.get("event") == "checkpoint"]
     recoveries = [e for e in events if e.get("event") == "recovery"]
+    defenses = [e for e in events if e.get("event") == "defense"]
     out = {
         "events": len(events),
         "steps": len(steps),
         "checkpoints": len(checkpoints),
         "recoveries": len(recoveries),
+        "defense_events": len(defenses),
         "lifecycle": [e["event"] for e in events
                       if e.get("event") in ("start", "resume", "finish",
                                             "interrupted", "failed")],
@@ -190,6 +197,25 @@ def format_events(events: list[dict]) -> str:
                 f"(rolled back to step {e.get('rollback_step')}, "
                 f"cfl -> {e.get('cfl')})"
             )
+        elif kind == "defense":
+            if e.get("escalate"):
+                lines.append(
+                    f"DEFENSE @ step {e.get('step', '?')}: grid "
+                    f"{e.get('grid')} (level {e.get('level')}) exhausted "
+                    f"rungs {e.get('rungs')} -> rollback"
+                )
+            elif e.get("worker_restart"):
+                lines.append(
+                    f"DEFENSE @ step {e.get('step', '?')}: worker died, "
+                    f"pool rebuilt, {e.get('retried_tasks')} task(s) retried"
+                )
+            else:
+                status = "rescued" if e.get("ok") else "failed"
+                lines.append(
+                    f"DEFENSE @ step {e.get('step', '?')}: grid "
+                    f"{e.get('grid')} (level {e.get('level')}) rung "
+                    f"{e.get('rung')} {status}"
+                )
         else:
             extras = {k: v for k, v in e.items()
                       if k not in ("event", "wall")}

@@ -41,6 +41,9 @@ class SimulationConfig:
     #: None resolves from REPRO_EXEC_BACKEND / REPRO_WORKERS (see repro.exec)
     exec_backend: str | None = None
     workers: int | None = None
+    #: in-step defense ladder (see docs/ROBUSTNESS.md); False disables the
+    #: per-grid validation/rescue machinery entirely
+    defense: bool = True
 
 
 class Simulation:
@@ -98,6 +101,7 @@ class Simulation:
             self.hierarchy, solver, gravity=self.gravity, criteria=self.criteria,
             clock=clock, units=units, cfl=c.cfl, max_level=c.max_level,
             stats=self.stats, timers=self.timers, exec_config=exec_config,
+            defense=None if c.defense else False,
         )
 
     # ----------------------------------------------------------------- setup

@@ -116,9 +116,9 @@ class TestSiblingIterationConverges:
         solves = []
         orig = grav.mg.solve
 
-        def spy(src, dx, rim):
+        def spy(src, dx, rim, **kwargs):
             solves.append(dx)
-            return orig(src, dx, rim)
+            return orig(src, dx, rim, **kwargs)
 
         grav.mg.solve = spy
         grav.solve_level(h, 1)

@@ -144,7 +144,10 @@ class TestCrashRecovery:
         rec = [e for e in events if e["event"] == "recovery"]
         assert len(rec) == 1
         assert rec[0]["rollback_step"] == 2
-        assert "density" in rec[0]["reason"]
+        # the poisoned density is caught either by the strict gravity solve
+        # (defense ladder on, the default) or by the end-of-step watchdog
+        assert ("density" in rec[0]["reason"]
+                or "multigrid" in rec[0]["reason"])
 
     def test_retries_exhausted_raises(self, tmp_path):
         run_dir = str(tmp_path / "fail")
