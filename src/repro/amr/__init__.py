@@ -15,6 +15,7 @@ absolute" precision discipline).
 
 from repro.amr.grid import Grid
 from repro.amr.hierarchy import Hierarchy
+from repro.amr.pool import FieldArrayPool
 from repro.amr.clustering import cluster_flagged_cells, Box
 from repro.amr.refinement import RefinementCriteria
 from repro.amr.defense import DefenseLadder
@@ -24,6 +25,7 @@ from repro.amr.topology import SiblingLink, build_sibling_map
 __all__ = [
     "Grid",
     "Hierarchy",
+    "FieldArrayPool",
     "cluster_flagged_cells",
     "Box",
     "DefenseLadder",

@@ -125,13 +125,20 @@ class HierarchyEvolver:
         semantics: a task error aborts the step); or pass a configured
         ladder instance.  With no escalations the ladder is read-only, so
         results stay bitwise identical either way.
+    incremental_rebuild:
+        ``True`` (default) lets ``rebuild_hierarchy`` reuse the subgrids
+        of parents whose flagged-cell sets are unchanged since the last
+        rebuild; ``False`` forces every rebuild through the from-scratch
+        path.  Both produce bitwise-identical hierarchies — the switch
+        exists for the correctness gate and the deep-run benchmark.
     """
 
     def __init__(self, hierarchy, solver, gravity=None, chemistry=None,
                  criteria=None, clock=None, units=None, cfl: float = 0.4,
                  max_level: int | None = None, rebuild_every: int = 1,
                  stats=None, timers=None, jeans_floor_cells: float = 0.0,
-                 exec_config=None, defense=None):
+                 exec_config=None, defense=None,
+                 incremental_rebuild: bool = True):
         self.hierarchy = hierarchy
         self.solver = solver
         self.gravity = gravity
@@ -142,6 +149,14 @@ class HierarchyEvolver:
         self.cfl = cfl
         self.max_level = max_level
         self.rebuild_every = max(int(rebuild_every), 1)
+        #: parents with unchanged flag sets keep their subgrids across
+        #: rebuilds (repro.amr.rebuild); False forces the from-scratch
+        #: path — bitwise identical, used by the bitwise gate and benches
+        self.incremental_rebuild = bool(incremental_rebuild)
+        #: hierarchy counter snapshot at root-step start (telemetry deltas)
+        self._rebuild_counters0 = (hierarchy.grids_created,
+                                   hierarchy.grids_destroyed,
+                                   hierarchy.grids_reused)
         self.stats = stats
         self.timers = timers
         #: if > 0: pressure-support floor so the local Jeans length never
@@ -232,6 +247,8 @@ class HierarchyEvolver:
         if not bool(h.root.time < target):
             return None
         self.engine.begin_root_step()
+        self._rebuild_counters0 = (h.grids_created, h.grids_destroyed,
+                                   h.grids_reused)
         self.chem_stats.reset()
         if self.defense is not None:
             self.defense.begin_root_step()
@@ -363,12 +380,36 @@ class HierarchyEvolver:
         ):
             self._timed("rebuild", lambda: rebuild_hierarchy(
                 h, level + 1, self.criteria, self._dm_density,
-                max_level=self.max_level))
+                max_level=self.max_level,
+                incremental=self.incremental_rebuild))
             if self.stats is not None and hasattr(self.stats, "record_rebuild"):
                 self.stats.record_rebuild(h, level + 1)
         if self.stats is not None and hasattr(self.stats, "record_step"):
             self.stats.record_step(h, level, dt, float(grids[0].time))
         return dt
+
+    def rebuild_step_stats(self) -> dict | None:
+        """Grid-churn counters since the last root-step start.
+
+        ``created``/``destroyed`` are allocator traffic, ``reused`` the
+        grids the incremental rebuild kept alive; ``reuse_rate`` is
+        reused / (reused + created) over the root step.  Returns ``None``
+        when no rebuild has ever run (nothing to report).
+        """
+        h = self.hierarchy
+        if h.last_rebuild_stats is None:
+            return None
+        c0, d0, r0 = self._rebuild_counters0
+        created = h.grids_created - c0
+        destroyed = h.grids_destroyed - d0
+        reused = h.grids_reused - r0
+        total = created + reused
+        return {
+            "created": created,
+            "destroyed": destroyed,
+            "reused": reused,
+            "reuse_rate": round(reused / total, 6) if total else 0.0,
+        }
 
     # -------------------------------------------------------------- defense
     def _defend_hydro(self, g, task, dt, a, adot, accel, permute):

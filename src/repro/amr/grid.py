@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hydro.state import FieldSet, make_fields
+from repro.hydro.state import META_KEY, FieldSet, make_fields
 from repro.precision.doubledouble import DoubleDouble
 from repro.precision.position import PositionDD
 
@@ -169,10 +169,21 @@ class Grid:
         return np.all((x >= self.left_edge) & (x < self.right_edge), axis=1)
 
     # --------------------------------------------------------------- storage
-    def allocate(self, advected=()) -> None:
-        """Allocate field arrays (uniform trivial state)."""
-        self.fields = make_fields(self.shape_with_ghosts, advected=advected)
-        self.phi = np.zeros(self.shape_with_ghosts)
+    def allocate(self, advected=(), pool=None) -> None:
+        """Allocate field arrays (uniform trivial state).
+
+        ``pool`` (a :class:`repro.amr.pool.FieldArrayPool`) sources the
+        buffers from the rebuild free-list instead of the allocator; the
+        resulting state is bitwise identical either way.
+        """
+        if pool is None:
+            self.fields = make_fields(self.shape_with_ghosts, advected=advected)
+            self.phi = np.zeros(self.shape_with_ghosts)
+        else:
+            self.fields = make_fields(self.shape_with_ghosts, advected=advected,
+                                      alloc=pool.acquire)
+            self.phi = pool.acquire(self.shape_with_ghosts)
+            self.phi[...] = 0.0
 
     def field_view(self, name: str) -> np.ndarray:
         """Interior view of a field."""
@@ -187,7 +198,26 @@ class Grid:
         return total
 
     def save_old_state(self) -> None:
-        """Snapshot fields+time for time-interpolated child boundaries."""
+        """Snapshot fields+time for time-interpolated child boundaries.
+
+        The previous snapshot's buffers are reused in place when the field
+        layout is unchanged (every step after the first), so the per-step
+        snapshot costs copies, not allocations — the same alloc/free
+        traffic the rebuild pool removes, at the step cadence.
+        """
+        old = self.old_fields
+        if old is not None and {k for k, _ in old.array_items()} == {
+            k for k, _ in self.fields.array_items()
+        }:
+            for name, arr in self.fields.array_items():
+                dst = old[name]
+                if dst.shape != arr.shape:
+                    break
+                np.copyto(dst, arr)
+            else:
+                old[META_KEY] = list(self.fields.advected)
+                self.old_time = DoubleDouble(self.time)
+                return
         self.old_fields = self.fields.deep_copy()
         self.old_time = DoubleDouble(self.time)
 

@@ -13,9 +13,13 @@ demand, and each particle is *advanced* by the finest level containing it.
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
+
 import numpy as np
 
 from repro.amr.grid import Grid
+from repro.amr.pool import FieldArrayPool
 from repro.amr.topology import build_sibling_map
 from repro.hydro.state import FieldSet
 from repro.nbody.particles import ParticleSet
@@ -50,10 +54,32 @@ class Hierarchy:
         self._sibling_maps: dict[int, tuple[int, dict]] = {}
         self._particle_epoch = 0
         self._plevel_cache: tuple[tuple, np.ndarray] | None = None
+        #: recycled field-array buffers (repro.amr.pool); rebuild-created
+        #: grids draw from it, retired grids release into it
+        self.pool = FieldArrayPool()
+        #: per-parent flag signatures from the last rebuild (grid_id ->
+        #: digest); the incremental rebuild reuses a parent's subgrids when
+        #: its signature is unchanged.  Grid ids are globally unique, so a
+        #: stale entry can never match a new grid; entries are pruned when
+        #: their grid is destroyed and invalidated by out-of-rebuild
+        #: structural mutations (epoch-awareness without storing the epoch).
+        self._flag_signatures: dict[int, bytes] = {}
+        self._in_rebuild = False
+        #: summary dict of the most recent rebuild_hierarchy call
+        #: (created/reused/destroyed/parents/reuse_rate); telemetry reads it
+        self.last_rebuild_stats: dict | None = None
+        # bulk-update (single-epoch-bump) bookkeeping
+        self._bulk_depth = 0
+        self._bulk_mutations = 0
+        self._bulk_membership: list[tuple] | None = None
+        self._bulk_epoch = 0
         self.particles = ParticleSet.empty()
-        # counters the performance layer reads (paper Fig. 5 discussion)
+        # counters the performance layer reads (paper Fig. 5 discussion);
+        # reused grids are counted separately so created/destroyed keep
+        # meaning "allocator traffic"
         self.grids_created = 1
         self.grids_destroyed = 0
+        self.grids_reused = 0
 
     # ------------------------------------------------------------- accessors
     @property
@@ -94,8 +120,14 @@ class Hierarchy:
         return [len(l) for l in self.levels]
 
     # ------------------------------------------------------------- mutation
-    def add_grid(self, grid: Grid, parent: Grid) -> None:
-        """Insert a grid under its parent; allocates storage if needed."""
+    def add_grid(self, grid: Grid, parent: Grid, *, reused: bool = False) -> None:
+        """Insert a grid under its parent; allocates storage if needed.
+
+        ``reused=True`` (the incremental rebuild re-attaching a surviving
+        grid) books the insert under ``grids_reused`` instead of
+        ``grids_created`` — the grid's buffers never left the heap, so it
+        is not allocator traffic.
+        """
         if not grid.is_nested_in(parent):
             raise ValueError(f"{grid} is not fully nested in {parent}")
         while len(self.levels) <= grid.level:
@@ -104,24 +136,100 @@ class Hierarchy:
         parent.children.append(grid)
         self.levels[grid.level].append(grid)
         if grid.fields is None:
-            grid.allocate(self.advected)
+            grid.allocate(self.advected, pool=self.pool)
         grid.time = DoubleDouble(parent.time)
-        self.grids_created += 1
-        self.topology_epoch += 1
+        if reused:
+            self.grids_reused += 1
+        else:
+            self.grids_created += 1
+        if not self._in_rebuild:
+            # the parent's child set changed outside the rebuild's own
+            # bookkeeping: its cached flag signature no longer describes
+            # its subgrids, so the next incremental rebuild must re-cluster
+            self._flag_signatures.pop(parent.grid_id, None)
+        self._note_mutation()
 
-    def remove_level_grids(self, level: int) -> None:
-        """Delete all grids at `level` and deeper (used by rebuild)."""
+    def remove_level_grids(self, level: int, *, tally: bool = True,
+                           release: bool = False) -> None:
+        """Delete all grids at `level` and deeper (used by rebuild).
+
+        Backrefs are severed on removal (``parent`` cleared, ``children``
+        emptied) so a detached subtree cannot pin the whole old hierarchy
+        alive through one surviving reference.  ``tally=False`` skips the
+        ``grids_destroyed`` bump (the incremental rebuild settles its own
+        created/destroyed/reused books); ``release=True`` recycles the
+        removed grids' buffers into the pool immediately — only safe when
+        no caller still needs their data.
+        """
         removed = 0
         for lvl in range(level, len(self.levels)):
-            removed += len(self.levels[lvl])
             for g in self.levels[lvl]:
-                if g.parent is not None and g in g.parent.children:
-                    g.parent.children.remove(g)
+                removed += 1
+                p = g.parent
+                if p is not None and g in p.children:
+                    p.children.remove(g)
+                g.parent = None
+                g.children.clear()
+                if not self._in_rebuild:
+                    self._flag_signatures.pop(g.grid_id, None)
+                    if p is not None:
+                        self._flag_signatures.pop(p.grid_id, None)
+                if release:
+                    self.pool.release_grid(g)
             self.levels[lvl] = []
         while len(self.levels) > 1 and not self.levels[-1]:
             self.levels.pop()
-        self.grids_destroyed += removed
-        self.topology_epoch += 1
+        if tally:
+            self.grids_destroyed += removed
+        self._note_mutation()
+
+    def _note_mutation(self) -> None:
+        """Bump the topology epoch, or defer inside a bulk_update block."""
+        if self._bulk_depth:
+            self._bulk_mutations += 1
+        else:
+            self.topology_epoch += 1
+
+    def _membership(self) -> list[tuple]:
+        return [tuple(g.grid_id for g in lvl) for lvl in self.levels]
+
+    @contextlib.contextmanager
+    def bulk_update(self):
+        """Batch structural mutations behind a single epoch transition.
+
+        A from-scratch rebuild of a thousand-grid level used to bump
+        ``topology_epoch`` a thousand times; inside this context every
+        ``add_grid`` / ``remove_level_grids`` defers, and on exit the epoch
+        moves **once** — or not at all if the final per-level membership is
+        identical to the initial one (a fully-reused rebuild), in which
+        case every epoch-keyed cache stays warm.  For levels whose
+        membership is unchanged across the block, cached sibling maps are
+        re-stamped to the new epoch (grid geometry is immutable, so an
+        unchanged member list means an unchanged map).
+        """
+        if self._bulk_depth == 0:
+            self._bulk_membership = self._membership()
+            self._bulk_epoch = self.topology_epoch
+            self._bulk_mutations = 0
+        self._bulk_depth += 1
+        try:
+            yield self
+        finally:
+            self._bulk_depth -= 1
+            if self._bulk_depth == 0:
+                before = self._bulk_membership
+                after = self._membership()
+                self._bulk_membership = None
+                if self._bulk_mutations and after != before:
+                    self.topology_epoch += 1
+                    for lvl in range(min(len(before), len(after))):
+                        if before[lvl] != after[lvl]:
+                            continue
+                        entry = self._sibling_maps.get(lvl)
+                        if entry is not None and entry[0] == self._bulk_epoch:
+                            self._sibling_maps[lvl] = (
+                                self.topology_epoch, entry[1]
+                            )
 
     # --------------------------------------------------------------- queries
     def sibling_map(self, level: int) -> dict:
@@ -131,14 +239,19 @@ class Hierarchy:
         :mod:`repro.amr.topology`) is rebuilt lazily the first time it is
         requested after a structural change.
         """
-        if self.topology_cache_enabled:
+        # mid-bulk-update the tree has mutated but the epoch hasn't moved
+        # yet: the cache can neither be trusted nor populated
+        cacheable = self.topology_cache_enabled and not (
+            self._bulk_depth and self._bulk_mutations
+        )
+        if cacheable:
             entry = self._sibling_maps.get(level)
             if entry is not None and entry[0] == self.topology_epoch:
                 return entry[1]
         smap = self._timed_topology(
             build_sibling_map, self.level_grids(level), self.nghost
         )
-        if self.topology_cache_enabled:
+        if cacheable:
             self._sibling_maps[level] = (self.topology_epoch, smap)
         return smap
 
@@ -175,15 +288,18 @@ class Hierarchy:
         read-only so a consumer cannot corrupt the cache in place.
         """
         key = (self.topology_epoch, self._particle_epoch, id(self._particles))
+        cacheable = self.topology_cache_enabled and not (
+            self._bulk_depth and self._bulk_mutations
+        )
         if (
-            self.topology_cache_enabled
+            cacheable
             and self._plevel_cache is not None
             and self._plevel_cache[0] == key
         ):
             return self._plevel_cache[1]
         level_of = self._timed_topology(self._compute_particle_levels)
         level_of.flags.writeable = False
-        if self.topology_cache_enabled:
+        if cacheable:
             self._plevel_cache = (key, level_of)
         return level_of
 
@@ -219,6 +335,26 @@ class Hierarchy:
         return mask
 
     # --------------------------------------------------------------- metrics
+    def fingerprint(self) -> str:
+        """SHA-256 digest of the full hierarchy state (structure + data).
+
+        Covers every grid's level, box, time words, field arrays and
+        potential, in tree order.  Two hierarchies with equal fingerprints
+        are bitwise identical in everything the physics can see — the
+        equality the incremental-rebuild correctness gate asserts against
+        the from-scratch path.
+        """
+        hsh = hashlib.sha256()
+        for lvl, grids in enumerate(self.levels):
+            for g in grids:
+                hsh.update(np.int64([lvl, *g.start_index, *g.dims]).tobytes())
+                hsh.update(np.float64([g.time.hi, g.time.lo]).tobytes())
+                for name, arr in sorted(g.fields.array_items()):
+                    hsh.update(name.encode())
+                    hsh.update(np.ascontiguousarray(arr).tobytes())
+                hsh.update(np.ascontiguousarray(g.phi).tobytes())
+        return hsh.hexdigest()
+
     def total_memory_bytes(self) -> int:
         return sum(g.memory_bytes() for g in self.all_grids())
 

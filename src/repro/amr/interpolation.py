@@ -21,14 +21,17 @@ import numpy as np
 def _limited_slopes(q: np.ndarray, axis: int) -> np.ndarray:
     """MC-limited slope per cell along one axis (zero at the array edges)."""
     dq = np.zeros_like(q)
+    sl_c = [slice(None)] * q.ndim
+    sl_c[axis] = slice(1, -1)
+    # one diff serves both one-sided differences: dm/dp are adjacent
+    # slices of it (identical subtractions, computed once)
+    d = np.diff(q, axis=axis)
     sl_m = [slice(None)] * q.ndim
     sl_p = [slice(None)] * q.ndim
-    sl_c = [slice(None)] * q.ndim
-    sl_m[axis] = slice(0, -2)
-    sl_c[axis] = slice(1, -1)
-    sl_p[axis] = slice(2, None)
-    dm = q[tuple(sl_c)] - q[tuple(sl_m)]
-    dp = q[tuple(sl_p)] - q[tuple(sl_c)]
+    sl_m[axis] = slice(0, -1)
+    sl_p[axis] = slice(1, None)
+    dm = d[tuple(sl_m)]
+    dp = d[tuple(sl_p)]
     centred = 0.5 * (dm + dp)
     lim = np.where(
         dm * dp > 0.0,
@@ -73,6 +76,165 @@ def prolong_linear(coarse: np.ndarray, r: int, positive: bool = False) -> np.nda
         bshape[axis] = out.shape[axis]
         out = out + s_rep * off_axis.reshape(bshape)
     return out
+
+
+def prolong_linear_batch(stack: np.ndarray, r: int,
+                         n_positive: int = 0) -> np.ndarray:
+    """Prolong a ``(F, nx, ny, nz)`` stack of fields in one pass.
+
+    Bitwise identical to calling :func:`prolong_linear` on each of the F
+    fields separately (every operation is elementwise, so batching along
+    a leading axis cannot change any value) — but one set of numpy calls
+    amortised over all fields, which is what makes small-region fills
+    (the rebuild's ghost-shell refreshes) overhead-viable.  The first
+    ``n_positive`` fields get the positivity rescale (callers sort
+    sign-definite fields to the front), the rest keep raw slopes.
+    """
+    if r == 1:
+        return stack.copy()
+    offsets = (np.arange(r) + 0.5) / r - 0.5
+    max_off = 0.5 * (1.0 - 1.0 / r)
+    slopes = [_limited_slopes(stack, axis) for axis in (1, 2, 3)]
+    if n_positive:
+        pos = stack[:n_positive]
+        reach = max_off * (np.abs(slopes[0][:n_positive])
+                           + np.abs(slopes[1][:n_positive])
+                           + np.abs(slopes[2][:n_positive]))
+        with np.errstate(invalid="ignore", divide="ignore"):
+            scale = np.where(reach > pos, pos / np.maximum(reach, 1e-300), 1.0)
+        scale = np.clip(scale, 0.0, 1.0)
+        for s in slopes:
+            s[:n_positive] *= scale
+    out = np.repeat(np.repeat(np.repeat(stack, r, 1), r, 2), r, 3)
+    for axis in (1, 2, 3):
+        s_rep = np.repeat(
+            np.repeat(np.repeat(slopes[axis - 1], r, 1), r, 2), r, 3
+        )
+        off_axis = offsets[np.arange(out.shape[axis]) % r]
+        bshape = [1, 1, 1, 1]
+        bshape[axis] = out.shape[axis]
+        out = out + s_rep * off_axis.reshape(bshape)
+    return out
+
+
+def prolong_slopes(stack: np.ndarray, r: int,
+                   n_positive: int = 0) -> list[np.ndarray]:
+    """Per-axis MC-limited slopes for a ``(F, ...)`` stack, positivity
+    rescale applied to the leading ``n_positive`` fields — the
+    reconstruction state :func:`gather_prolong` samples.  Computing this
+    once per coarse slab and serving many fine windows from it is what
+    makes fragment-wise ghost-shell refills cheap."""
+    slopes = [_limited_slopes(stack, axis) for axis in (1, 2, 3)]
+    if n_positive:
+        max_off = 0.5 * (1.0 - 1.0 / r)
+        pos = stack[:n_positive]
+        reach = max_off * (np.abs(slopes[0][:n_positive])
+                           + np.abs(slopes[1][:n_positive])
+                           + np.abs(slopes[2][:n_positive]))
+        with np.errstate(invalid="ignore", divide="ignore"):
+            scale = np.where(reach > pos, pos / np.maximum(reach, 1e-300), 1.0)
+        scale = np.clip(scale, 0.0, 1.0)
+        for s in slopes:
+            s[:n_positive] *= scale
+    return slopes
+
+
+def gather_prolong(stack: np.ndarray, slopes, r: int, fine_shape,
+                   fine_offset) -> np.ndarray:
+    """Sample one fine window of the linear reconstruction.
+
+    Each fine cell gathers its parent's value and per-axis slopes from
+    the precomputed ``(stack, slopes)`` pair (see :func:`prolong_slopes`)
+    and applies the same three slope terms in the same order as
+    :func:`prolong_linear_batch`, so the window is bitwise identical to
+    prolonging the whole slab and slicing — without materialising the
+    fine image of anything outside the window.
+    """
+    window = tuple(
+        slice(int(o), int(o) + int(s)) for o, s in zip(fine_offset, fine_shape)
+    )
+    if r == 1:
+        return stack[(slice(None),) + window].copy()
+    offsets = (np.arange(r) + 0.5) / r - 0.5
+    idx = []
+    offs = []
+    for a in range(3):
+        f = np.arange(window[a].start, window[a].stop)
+        idx.append(f // r)
+        offs.append(offsets[f % r])
+    ix = idx[0][:, None, None]
+    iy = idx[1][None, :, None]
+    iz = idx[2][None, None, :]
+    out = stack[:, ix, iy, iz]
+    out = out + slopes[0][:, ix, iy, iz] * offs[0].reshape(1, -1, 1, 1)
+    out = out + slopes[1][:, ix, iy, iz] * offs[1].reshape(1, 1, -1, 1)
+    out = out + slopes[2][:, ix, iy, iz] * offs[2].reshape(1, 1, 1, -1)
+    return out
+
+
+def gather_prolong_boxes(stack: np.ndarray, slopes, r: int, boxes):
+    """Sample many fine windows of the linear reconstruction in one pass.
+
+    ``boxes`` is a list of ``(offset, shape)`` windows in the fine image
+    of the slab (the same coordinates :func:`gather_prolong` takes); the
+    return value is a ``(F, N)`` array over all the windows' cells — each
+    window raveled in C order, windows concatenated in list order.  Cell
+    values are bitwise identical to per-window :func:`gather_prolong`
+    calls (the gather and the three slope terms are elementwise; only
+    the layout differs): one set of fancy-index reads amortised over
+    every window is what keeps many-fragment ghost-shell refreshes
+    call-bound no longer.
+    """
+    ny_s, nz_s = stack.shape[2], stack.shape[3]
+    flat_idx = []
+    offs_flat = [[], [], []]
+    if r > 1:
+        offsets = (np.arange(r) + 0.5) / r - 0.5
+    for off, shape in boxes:
+        ax_idx = []
+        for a in range(3):
+            f = np.arange(int(off[a]), int(off[a]) + int(shape[a]))
+            ax_idx.append(f // r if r > 1 else f)
+            if r > 1:
+                offs_flat[a].append(
+                    np.broadcast_to(
+                        offsets[f % r].reshape(
+                            [-1 if d == a else 1 for d in range(3)]
+                        ),
+                        tuple(int(s) for s in shape),
+                    ).ravel()
+                )
+        # one flat index into the slab's raveled spatial dims per cell
+        flat_idx.append(
+            (ax_idx[0][:, None, None] * (ny_s * nz_s)
+             + ax_idx[1][None, :, None] * nz_s
+             + ax_idx[2][None, None, :]).ravel()
+        )
+    idx = np.concatenate(flat_idx)
+    out = stack.reshape(stack.shape[0], -1)[:, idx]
+    if r > 1:
+        for a in range(3):
+            out = out + (slopes[a].reshape(stack.shape[0], -1)[:, idx]
+                         * np.concatenate(offs_flat[a]))
+    return out
+
+
+def prolong_region_batch(coarse_padded: np.ndarray, r: int, fine_shape,
+                         fine_offset, n_positive: int = 0) -> np.ndarray:
+    """Batched :func:`prolong_region`: ``(F, ...)`` in, ``(F, ...)`` out.
+
+    One-shot convenience wrapper over :func:`prolong_slopes` +
+    :func:`gather_prolong`; callers filling many windows from the same
+    slab should hold the slopes and gather per window instead.
+    """
+    if r == 1:
+        window = tuple(
+            slice(int(o), int(o) + int(s))
+            for o, s in zip(fine_offset, fine_shape)
+        )
+        return coarse_padded[(slice(None),) + window].copy()
+    slopes = prolong_slopes(coarse_padded, r, n_positive=n_positive)
+    return gather_prolong(coarse_padded, slopes, r, fine_shape, fine_offset)
 
 
 def is_positive_field(name: str) -> bool:

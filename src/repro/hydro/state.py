@@ -53,18 +53,31 @@ class FieldSet(dict):
 
 
 def make_fields(shape, density=1.0, velocity=(0.0, 0.0, 0.0), internal_energy=1.0,
-                advected=()) -> FieldSet:
-    """Allocate a uniform field set of the given (ghost-inclusive) shape."""
+                advected=(), alloc=None) -> FieldSet:
+    """Allocate a uniform field set of the given (ghost-inclusive) shape.
+
+    ``alloc(shape) -> ndarray`` overrides the array source — the hook the
+    rebuild-time :class:`repro.amr.pool.FieldArrayPool` uses to hand out
+    recycled buffers.  Every array is written in full either way, so
+    pooled and fresh allocation produce bitwise-identical field sets.
+    """
+    def filled(value: float) -> np.ndarray:
+        if alloc is None:
+            return np.full(shape, float(value))
+        arr = alloc(shape)
+        arr[...] = float(value)
+        return arr
+
     f = FieldSet()
-    f["density"] = np.full(shape, float(density))
+    f["density"] = filled(density)
     for name, v in zip(VELOCITY_FIELDS, velocity):
-        f[name] = np.full(shape, float(v))
+        f[name] = filled(v)
     e_kin = 0.5 * sum(float(v) ** 2 for v in velocity)
-    f["internal"] = np.full(shape, float(internal_energy))
-    f["energy"] = np.full(shape, float(internal_energy) + e_kin)
+    f["internal"] = filled(internal_energy)
+    f["energy"] = filled(float(internal_energy) + e_kin)
     f[META_KEY] = list(advected)
     for name in advected:
-        f[name] = np.zeros(shape)
+        f[name] = filled(0.0)
     return f
 
 

@@ -25,6 +25,7 @@ class HierarchyStats:
         self.n_grids: list[int] = []
         self.memory_bytes: list[int] = []
         self.alloc_events: list[int] = []
+        self.reuse_events: list[int] = []
         self.snapshots: dict[float, list[int]] = {}
         self.level_steps: dict[int, int] = {}
 
@@ -37,9 +38,13 @@ class HierarchyStats:
         self.max_levels.append(hierarchy.max_level)
         self.n_grids.append(hierarchy.n_grids)
         self.memory_bytes.append(hierarchy.total_memory_bytes())
+        # created + destroyed is real allocator traffic; grids the
+        # incremental rebuild kept alive are tracked separately so the
+        # Fig. 5-style alloc/free series stays truthful under reuse
         self.alloc_events.append(
             hierarchy.grids_created + hierarchy.grids_destroyed
         )
+        self.reuse_events.append(getattr(hierarchy, "grids_reused", 0))
 
     def snapshot_levels(self, hierarchy, time: float) -> None:
         """Store grids-per-level at a chosen time (Fig. 5 bottom-left)."""
@@ -72,6 +77,7 @@ class HierarchyStats:
             "n_grids": np.asarray(self.n_grids),
             "memory_bytes": np.asarray(self.memory_bytes),
             "alloc_events": np.asarray(self.alloc_events),
+            "reuse_events": np.asarray(self.reuse_events),
         }
 
     def report(self) -> str:
@@ -84,5 +90,6 @@ class HierarchyStats:
             f"peak grid count     : {s['n_grids'].max()}",
             f"peak memory         : {s['memory_bytes'].max() / 1e6:.1f} MB",
             f"alloc/free events   : {s['alloc_events'][-1]}",
+            f"grid reuse events   : {s['reuse_events'][-1]}",
         ]
         return "\n".join(lines)

@@ -16,6 +16,8 @@ Step record schema (all numbers JSON-native)::
               "imbalance": {"0": 1.0, "1": 1.18}},
      "chemistry": {"tasks": 9, "cells": 36864, "substeps_total": 112640,
                    "substeps_max": 57, "active_fraction_mean": 0.23},
+     "rebuild": {"created": 12, "destroyed": 9, "reused": 480,
+                 "reuse_rate": 0.9756},
      "wall": ...}
 
 The ``exec`` block comes from the execution engine (:mod:`repro.exec`):
@@ -28,6 +30,13 @@ aggregates the active-set integrator's per-grid diagnostics over the
 root step: total/maximum substep counts and the cell-weighted mean
 fraction of cells still active per substep iteration (lower = more cells
 converging early and dropping out of the integration).
+
+The ``rebuild`` block (present once the hierarchy has rebuilt at least
+once) counts the root step's grid churn: ``created``/``destroyed`` are
+real allocator traffic, ``reused`` the grids the incremental rebuild
+(:mod:`repro.amr.rebuild`) kept alive, and ``reuse_rate`` =
+reused / (reused + created) — the paper-Fig. 5 alloc/free pressure an
+operator watches at hero-run scale.
 """
 
 from __future__ import annotations
@@ -106,6 +115,11 @@ def step_record(evolver, step: int, dt: float) -> dict:
         snap = chem_stats.snapshot()
         snap["active_fraction_mean"] = round(snap["active_fraction_mean"], 6)
         record["chemistry"] = snap
+    rebuild_stats = getattr(evolver, "rebuild_step_stats", None)
+    if rebuild_stats is not None:
+        snap = rebuild_stats()
+        if snap is not None:
+            record["rebuild"] = snap
     defense = getattr(evolver, "defense", None)
     if defense is not None:
         snap = defense.snapshot()

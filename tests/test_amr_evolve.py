@@ -55,10 +55,29 @@ class TestRebuild:
         g = h.finest_grid_at([0.5, 0.5, 0.5])
         marker = 123.456
         g.fields["density"][g.interior] = marker
+        # perturb the root so the flagged set changes: the rebuild must then
+        # re-cluster (no reuse) and copy the old fine data forward
+        ri = h.root.interior
+        h.root.fields["density"][ri][0, 0, 0] = 50.0
+        set_boundary_values(h, 0)
         rebuild_hierarchy(h, 1, crit)
         g2 = h.finest_grid_at([0.5, 0.5, 0.5])
         assert g2 is not g  # new object ("old grids are then deleted")
         assert np.any(g2.field_view("density") == marker)
+
+    def test_rebuild_unchanged_flags_reuses_grids(self):
+        h = _blob_hierarchy()
+        crit = RefinementCriteria(overdensity_threshold=3.0, max_level=1)
+        rebuild_hierarchy(h, 1, crit)
+        g = h.finest_grid_at([0.5, 0.5, 0.5])
+        marker = 123.456
+        g.fields["density"][g.interior] = marker
+        rebuild_hierarchy(h, 1, crit)
+        g2 = h.finest_grid_at([0.5, 0.5, 0.5])
+        assert g2 is g  # unchanged flags: incremental rebuild keeps the grid
+        assert np.any(g2.field_view("density") == marker)
+        assert h.last_rebuild_stats["reused"] > 0
+        assert h.last_rebuild_stats["created"] == 0
 
     def test_derefinement(self):
         h = _blob_hierarchy()
