@@ -11,7 +11,11 @@ run         — primordial collapse under run control (checkpoints,
               crash recovery, JSONL telemetry); survives SIGTERM
 resume      — continue an interrupted/crashed run bit-exactly from its
               newest loadable checkpoint
-tail D      — summarise a run directory's telemetry stream
+tail D      — summarise a run directory's telemetry stream (``-f`` to
+              follow it live)
+service     — multi-tenant run service: ``start`` a daemon, then
+              ``submit``/``ps``/``cancel``/``preempt``/``logs``/``wait``/
+              ``stop`` against its root directory (see docs/SERVICE.md)
 """
 
 from __future__ import annotations
@@ -146,7 +150,7 @@ def cmd_run(args) -> int:
     controller = problem.make_controller(
         run_dir, z_end=args.z_end,
         policy=CheckpointPolicy(every_steps=args.checkpoint_every,
-                                keep=args.keep),
+                                keep_last=args.keep_last),
     )
     out = controller.run(problem.code_time_of_redshift(args.z_end),
                          max_root_steps=args.max_steps)
@@ -165,7 +169,7 @@ def cmd_resume(args) -> int:
     state = RunState.load(latest[2])
     cfg = state.config or {}
     policy = CheckpointPolicy(every_steps=args.checkpoint_every,
-                              keep=args.keep)
+                              keep_last=args.keep_last)
     # the exec backend does not affect results (bitwise identical), so a
     # resume may freely override what the original run used
     exec_overrides = {}
@@ -194,6 +198,18 @@ def cmd_resume(args) -> int:
     return 2 if out["status"] == "interrupted" else 0
 
 
+def _follow_and_print(path: str) -> int:
+    """Shared ``-f`` loop for ``tail`` and ``service logs``."""
+    from repro.runtime.telemetry import follow_events, format_events
+
+    try:
+        for record in follow_events(path, from_start=False):
+            print(format_events([record]))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_tail(args) -> int:
     from repro.runtime import telemetry_path
     from repro.runtime.telemetry import format_events, read_events, summarise
@@ -201,14 +217,17 @@ def cmd_tail(args) -> int:
     path = args.dir
     if os.path.isdir(path):
         path = telemetry_path(path)
-    if not os.path.exists(path):
+    if not os.path.exists(path) and not args.follow:
         print(f"no telemetry at {path!r}", file=sys.stderr)
         return 1
-    events = read_events(path)
+    events = read_events(path) if os.path.exists(path) else []
     shown = events[-args.n:]
     if len(events) > len(shown):
         print(f"... ({len(events) - len(shown)} earlier events)")
-    print(format_events(shown))
+    if shown:
+        print(format_events(shown))
+    if args.follow:
+        return _follow_and_print(path)
     s = summarise(path)
     line = (f"-- {s['steps']} steps, {s['checkpoints']} checkpoints, "
             f"{s['recoveries']} recoveries, lifecycle: "
@@ -217,6 +236,158 @@ def cmd_tail(args) -> int:
         line += f"; t = {s['t']:.6g}, grids = {s['grids']}, cells = {s['cells']}"
     print(line)
     return 0
+
+
+# ------------------------------------------------------------------ service
+def _load_spec_arg(args) -> dict:
+    import json
+
+    if getattr(args, "spec_json", None):
+        return json.loads(args.spec_json)
+    if not getattr(args, "spec", None):
+        raise SystemExit("submit needs --spec FILE or --spec-json STRING")
+    with open(args.spec, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def cmd_service_start(args) -> int:
+    from repro.service import RunService
+
+    service = RunService(args.root, total_workers=args.workers,
+                         launcher=args.launcher,
+                         tick_interval=args.tick_interval)
+    print(f"run service on {args.root}: {args.workers} workers, "
+          f"{args.launcher} launcher (ctrl-c or 'repro service stop' "
+          f"to shut down)")
+    service.serve_forever()
+    return 0
+
+
+def cmd_service_submit(args) -> int:
+    from repro.service import ServiceClient
+
+    spec = _load_spec_arg(args)
+    client = ServiceClient(args.root)
+    run_id = client.submit(spec, tenant=args.tenant,
+                           priority=args.priority, workers=args.workers)
+    print(run_id)
+    if args.wait:
+        entries = client.wait(run_id, timeout=args.timeout)
+        entry = entries[run_id]
+        print(f"{run_id}: {entry['state']}"
+              + (f" ({entry['result'].get('outcome')})"
+                 if entry.get("result") else ""))
+        return 0 if entry["state"] == "DONE" else 1
+    return 0
+
+
+def cmd_service_ps(args) -> int:
+    from repro.service import ServiceClient
+
+    reply = ServiceClient(args.root).ps()
+    workers = reply["workers"]
+    print(f"workers: {workers['in_use']}/{workers['total']} in use")
+    header = (f"{'RUN':<9}{'STATE':<11}{'TENANT':<12}{'PRI':>4}"
+              f"{'WRK':>4}{'ATT':>4}{'PRE':>4}  NOTE")
+    print(header)
+    for entry in reply["runs"]:
+        note = entry.get("note", "")
+        if entry.get("eta_seconds") is not None:
+            note = (note + f" eta~{entry['eta_seconds']}s").strip()
+        print(f"{entry['run']:<9}{entry['state']:<11}"
+              f"{entry['tenant']:<12}{entry['priority']:>4}"
+              f"{entry['workers']:>4}{entry['attempts']:>4}"
+              f"{entry['preemptions']:>4}  {note}")
+    return 0
+
+
+def cmd_service_cancel(args) -> int:
+    from repro.service import ServiceClient
+
+    reply = ServiceClient(args.root).cancel(args.run)
+    print(f"{args.run}: {reply.get('state')}"
+          + (" (draining)" if reply.get("draining") else ""))
+    return 0
+
+
+def cmd_service_preempt(args) -> int:
+    from repro.service import ServiceClient
+
+    ServiceClient(args.root).preempt(args.run)
+    print(f"{args.run}: draining to checkpoint")
+    return 0
+
+
+def cmd_service_logs(args) -> int:
+    from repro.runtime.telemetry import format_events
+    from repro.service import ServiceClient
+
+    reply = ServiceClient(args.root).logs(args.run, n=args.n)
+    if reply["total"] > len(reply["events"]):
+        print(f"... ({reply['total'] - len(reply['events'])} "
+              f"earlier events)")
+    if reply["events"]:
+        print(format_events(reply["events"]))
+    if args.follow:
+        return _follow_and_print(reply["path"])
+    return 0
+
+
+def cmd_service_wait(args) -> int:
+    from repro.service import ServiceClient
+
+    entries = ServiceClient(args.root).wait(args.runs, timeout=args.timeout)
+    bad = 0
+    for run_id in args.runs:
+        entry = entries[run_id]
+        print(f"{run_id}: {entry['state']}")
+        if entry["state"] != "DONE":
+            bad += 1
+    return 1 if bad else 0
+
+
+def cmd_service_stop(args) -> int:
+    from repro.service import ServiceClient
+
+    ServiceClient(args.root).shutdown()
+    print("service stopping (live runs drain to checkpoint)")
+    return 0
+
+
+def cmd_service_worker(args) -> int:
+    """Internal: one RUNNING episode, spawned by the subprocess launcher.
+
+    Exit codes: 0 done, 2 preempted (drained to checkpoint), 3 failed.
+    The result record is dropped atomically next to the controller dir so
+    the daemon reads either nothing or a complete record, never a torn
+    one.
+    """
+    import json
+
+    from repro.service.launcher import result_path
+    from repro.service.specs import RunJob
+
+    with open(args.spec, encoding="utf-8") as fh:
+        spec = json.load(fh)
+    job = RunJob(spec, args.run_dir)
+    try:
+        result = job.execute()
+    except KeyboardInterrupt:
+        # SIGINT landed before the controller installed its SignalGuard
+        # (problem construction); there is no checkpoint yet, so the
+        # daemon will requeue and the next episode starts fresh
+        result = {"outcome": "preempted", "status": "interrupted",
+                  "drain": "signal before first step"}
+    except Exception as exc:
+        result = {"outcome": "failed", "error": repr(exc)}
+    path = result_path(args.run_dir)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(result, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return {"done": 0, "preempted": 2}.get(result.get("outcome"), 3)
 
 
 def main(argv=None) -> int:
@@ -260,8 +431,11 @@ def main(argv=None) -> int:
                         "checkpoints and run state live here)")
     p.add_argument("--checkpoint-every", type=int, default=5,
                    help="root steps between checkpoints")
-    p.add_argument("--keep", type=int, default=3,
-                   help="rotated checkpoints to retain")
+    p.add_argument("--keep-last", "--keep", dest="keep_last", type=int,
+                   default=3,
+                   help="rotated checkpoint pairs to retain (the pair a "
+                        "resumed run restarted from is pinned until a "
+                        "newer one lands)")
     p.add_argument("--exec-backend", default=None,
                    choices=["serial", "thread", "process"],
                    help="per-grid execution backend "
@@ -284,7 +458,8 @@ def main(argv=None) -> int:
     p.add_argument("--max-steps", type=int, default=None,
                    help="override the stored root-step budget")
     p.add_argument("--checkpoint-every", type=int, default=5)
-    p.add_argument("--keep", type=int, default=3)
+    p.add_argument("--keep-last", "--keep", dest="keep_last", type=int,
+                   default=3)
     p.add_argument("--exec-backend", default=None,
                    choices=["serial", "thread", "process"],
                    help="override the execution backend for the resumed run "
@@ -300,7 +475,79 @@ def main(argv=None) -> int:
     p = sub.add_parser("tail", help="summarise a run's telemetry stream")
     p.add_argument("dir", help="run directory or telemetry.jsonl path")
     p.add_argument("-n", type=int, default=12, help="events to show")
+    p.add_argument("-f", "--follow", action="store_true",
+                   help="keep printing records as they are appended")
     p.set_defaults(fn=cmd_tail)
+
+    p = sub.add_parser(
+        "service", help="multi-tenant run service (see docs/SERVICE.md)")
+    svc = p.add_subparsers(dest="service_command", required=True)
+
+    q = svc.add_parser("start", help="run the daemon in the foreground")
+    q.add_argument("--root", required=True, help="service root directory")
+    q.add_argument("--workers", type=int, default=4,
+                   help="shared worker budget the scheduler packs into")
+    q.add_argument("--launcher", default="subprocess",
+                   choices=["subprocess", "inprocess"],
+                   help="run episodes as child processes (isolated, "
+                        "default) or daemon threads")
+    q.add_argument("--tick-interval", type=float, default=0.05,
+                   help="seconds between scheduling rounds")
+    q.set_defaults(fn=cmd_service_start)
+
+    q = svc.add_parser("submit", help="queue a run spec")
+    q.add_argument("--root", required=True)
+    q.add_argument("--spec", default=None, help="run spec JSON file")
+    q.add_argument("--spec-json", default=None,
+                   help="run spec as an inline JSON string")
+    q.add_argument("--tenant", default="default")
+    q.add_argument("--priority", type=int, default=0,
+                   help="larger = more important; may preempt strictly "
+                        "lower priorities")
+    q.add_argument("--workers", type=int, default=1,
+                   help="worker slots this run occupies while RUNNING")
+    q.add_argument("--wait", action="store_true",
+                   help="block until the run reaches a terminal state")
+    q.add_argument("--timeout", type=float, default=600.0)
+    q.set_defaults(fn=cmd_service_submit)
+
+    q = svc.add_parser("ps", help="list runs and the worker budget")
+    q.add_argument("--root", required=True)
+    q.set_defaults(fn=cmd_service_ps)
+
+    q = svc.add_parser("cancel", help="cancel a run (drains if RUNNING)")
+    q.add_argument("--root", required=True)
+    q.add_argument("run")
+    q.set_defaults(fn=cmd_service_cancel)
+
+    q = svc.add_parser(
+        "preempt", help="drain a RUNNING run to checkpoint (resumable)")
+    q.add_argument("--root", required=True)
+    q.add_argument("run")
+    q.set_defaults(fn=cmd_service_preempt)
+
+    q = svc.add_parser("logs", help="show a run's telemetry")
+    q.add_argument("--root", required=True)
+    q.add_argument("run")
+    q.add_argument("-n", type=int, default=20)
+    q.add_argument("-f", "--follow", action="store_true",
+                   help="keep printing records as they are appended")
+    q.set_defaults(fn=cmd_service_logs)
+
+    q = svc.add_parser("wait", help="block until runs are terminal")
+    q.add_argument("--root", required=True)
+    q.add_argument("runs", nargs="+")
+    q.add_argument("--timeout", type=float, default=600.0)
+    q.set_defaults(fn=cmd_service_wait)
+
+    q = svc.add_parser("stop", help="shut the daemon down (runs drain)")
+    q.add_argument("--root", required=True)
+    q.set_defaults(fn=cmd_service_stop)
+
+    p = sub.add_parser("service-worker")  # internal: launched by the daemon
+    p.add_argument("--run-dir", required=True)
+    p.add_argument("--spec", required=True)
+    p.set_defaults(fn=cmd_service_worker)
 
     args = parser.parse_args(argv)
     return args.fn(args)

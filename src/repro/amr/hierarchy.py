@@ -339,10 +339,12 @@ class Hierarchy:
         """SHA-256 digest of the full hierarchy state (structure + data).
 
         Covers every grid's level, box, time words, field arrays and
-        potential, in tree order.  Two hierarchies with equal fingerprints
-        are bitwise identical in everything the physics can see — the
-        equality the incremental-rebuild correctness gate asserts against
-        the from-scratch path.
+        potential, in tree order, plus the particle set's extended-precision
+        position words, velocities and masses when particles are attached.
+        Two hierarchies with equal fingerprints are bitwise identical in
+        everything the physics can see — the equality the incremental-
+        rebuild and preempt/resume correctness gates assert against their
+        uninterrupted reference paths.
         """
         hsh = hashlib.sha256()
         for lvl, grids in enumerate(self.levels):
@@ -353,6 +355,11 @@ class Hierarchy:
                     hsh.update(name.encode())
                     hsh.update(np.ascontiguousarray(arr).tobytes())
                 hsh.update(np.ascontiguousarray(g.phi).tobytes())
+        particles = getattr(self, "particles", None)
+        if particles is not None and len(particles.masses):
+            for arr in (particles.positions.hi, particles.positions.lo,
+                        particles.velocities, particles.masses):
+                hsh.update(np.ascontiguousarray(arr).tobytes())
         return hsh.hexdigest()
 
     def total_memory_bytes(self) -> int:

@@ -11,6 +11,7 @@ fed by *measured* per-grid timings.  Results are bitwise identical across
 backends and worker counts.  See ``docs/EXECUTOR.md``.
 """
 
+from repro.exec.accounting import LedgerError, WorkerLedger
 from repro.exec.calibration import WorkCalibrator
 from repro.exec.config import BACKENDS, ENV_BACKEND, ENV_WORKERS, ExecConfig
 from repro.exec.engine import (
@@ -32,7 +33,9 @@ __all__ = [
     "GravityAccelTask",
     "GridTask",
     "HydroTask",
+    "LedgerError",
     "StepExecStats",
     "WorkCalibrator",
+    "WorkerLedger",
     "shutdown_pools",
 ]

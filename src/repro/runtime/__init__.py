@@ -33,7 +33,9 @@ from repro.runtime.recovery import (
     Watchdog,
 )
 from repro.runtime.telemetry import (
+    JsonlFollower,
     TelemetryWriter,
+    follow_events,
     read_events,
     summarise,
     telemetry_path,
@@ -50,7 +52,9 @@ __all__ = [
     "RunFailedError",
     "StateCorruptionError",
     "TelemetryWriter",
+    "JsonlFollower",
     "faults",
+    "follow_events",
     "read_events",
     "summarise",
     "telemetry_path",

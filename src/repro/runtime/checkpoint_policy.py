@@ -138,17 +138,36 @@ class CheckpointPolicy:
     every_steps:
         Write a checkpoint every this many root steps (plus one at step 0
         and one at exit, written by the controller regardless).
-    keep:
+    keep_last:
         Newest pairs retained after rotation; older ones are deleted.
+        ``keep`` is accepted as a legacy alias.  Independently of the
+        count, :meth:`rotate` never deletes a *pinned* step — the
+        controller pins the checkpoint a preempted/resumed run restarted
+        from until a newer one is durably on disk.
     """
 
-    def __init__(self, every_steps: int = 10, keep: int = 3):
+    def __init__(self, every_steps: int = 10, keep: int | None = None,
+                 keep_last: int | None = None):
         if every_steps < 1:
             raise ValueError("every_steps must be >= 1")
-        if keep < 1:
-            raise ValueError("keep must be >= 1")
+        if keep_last is None:
+            keep_last = 3 if keep is None else keep
+        elif keep is not None and keep != keep_last:
+            raise ValueError("pass either keep_last or its alias keep, "
+                             "not conflicting values of both")
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
         self.every_steps = int(every_steps)
-        self.keep = int(keep)
+        self.keep_last = int(keep_last)
+
+    @property
+    def keep(self) -> int:
+        """Legacy alias of :attr:`keep_last`."""
+        return self.keep_last
+
+    @keep.setter
+    def keep(self, value: int) -> None:
+        self.keep_last = int(value)
 
     def due(self, step: int) -> bool:
         return step % self.every_steps == 0
@@ -186,11 +205,19 @@ class CheckpointPolicy:
         pairs = CheckpointPolicy.list_checkpoints(run_dir)
         return pairs[-1] if pairs else None
 
-    def rotate(self, run_dir: str) -> list[int]:
-        """Delete the oldest pairs beyond ``keep``; returns removed steps."""
+    def rotate(self, run_dir: str, pin: int | None = None) -> list[int]:
+        """Delete the oldest pairs beyond ``keep_last``; returns removed steps.
+
+        A pair whose step equals ``pin`` is never deleted, whatever the
+        count says: it is the checkpoint a preempted run will resume from
+        (or just resumed from), and losing it would turn a clean preempt
+        into data loss.
+        """
         pairs = self.list_checkpoints(run_dir)
         removed = []
-        for step, npz, state in pairs[: max(0, len(pairs) - self.keep)]:
+        for step, npz, state in pairs[: max(0, len(pairs) - self.keep_last)]:
+            if pin is not None and step == pin:
+                continue
             for path in (npz, state):
                 try:
                     os.remove(path)

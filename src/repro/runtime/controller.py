@@ -31,6 +31,7 @@ sweep permutation), CFL, gravity mean density and the global RNG, and
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import defaultdict
 
@@ -101,7 +102,29 @@ class RunController:
         self._retries = 0
         self._highest_failed_step = -1
         self._last_checkpoint_step = -1
+        #: checkpoint step a resume() restarted from; pinned against
+        #: rotation until a newer checkpoint is durably on disk
+        self._resume_anchor: int | None = None
+        self._drain = threading.Event()
+        self._drain_reason: str | None = None
         self.telemetry: TelemetryWriter | None = None
+
+    # ---------------------------------------------------------------- drain
+    def request_drain(self, reason: str = "drain") -> None:
+        """Ask the loop to stop at the next root-step boundary.
+
+        This is the same code path a SIGINT takes — checkpoint, telemetry
+        epilogue, orderly ``"interrupted"`` return — but callable from
+        another thread, which is how the run service preempts a job it
+        wants to checkpoint and requeue.  Safe to call at any time,
+        including before ``run()``/``resume()``.
+        """
+        self._drain_reason = str(reason)
+        self._drain.set()
+
+    @property
+    def drain_requested(self) -> bool:
+        return self._drain.is_set()
 
     # ------------------------------------------------------------ accessors
     @property
@@ -127,6 +150,10 @@ class RunController:
         """Continue from the newest loadable checkpoint in ``run_dir``."""
         step, hierarchy, state = self._latest_loadable()
         self._install(hierarchy, state)
+        # rotation must never delete the pair we just restarted from until
+        # a newer checkpoint exists: a preempt right after resume would
+        # otherwise have nothing bit-exact to fall back to
+        self._resume_anchor = step
         self.t_end = float(t_end) if t_end is not None else float(state.t_end)
         self.max_root_steps = (
             max_root_steps if max_root_steps is not None
@@ -152,7 +179,7 @@ class RunController:
                         self.step >= self.max_root_steps:
                     status = "max_steps"
                     break
-                if guard.triggered:
+                if guard.triggered or self._drain.is_set():
                     status = "interrupted"
                     break
                 if self.pre_step is not None:
@@ -174,7 +201,7 @@ class RunController:
                 self._drain_defense(self.step)
                 if self.policy.due(self.step):
                     self._checkpoint()
-                if guard.triggered:
+                if guard.triggered or self._drain.is_set():
                     status = "interrupted"
                     break
             self._checkpoint()
@@ -188,6 +215,8 @@ class RunController:
             }
             if guard.triggered:
                 summary["signal"] = guard.triggered
+            if self._drain.is_set() and self._drain_reason is not None:
+                summary["drain"] = self._drain_reason
             self.telemetry.emit(
                 "interrupted" if status == "interrupted" else "finish",
                 **summary,
@@ -229,7 +258,9 @@ class RunController:
         )
         state.save(state_path)
         self._last_checkpoint_step = self.step
-        removed = self.policy.rotate(self.run_dir)
+        if self._resume_anchor is not None and self.step > self._resume_anchor:
+            self._resume_anchor = None  # a newer durable pair supersedes it
+        removed = self.policy.rotate(self.run_dir, pin=self._resume_anchor)
         if self.telemetry is not None:
             self.telemetry.emit("checkpoint", step=self.step,
                                 path=os.path.basename(data_path),
@@ -299,6 +330,7 @@ class RunController:
         step, hierarchy, state = self._latest_loadable()
         new_cfl = self.recovery.reduced_cfl(self.evolver.cfl)
         self._install(hierarchy, state, cfl=new_cfl)
+        self._resume_anchor = step
         # drop checkpoints ahead of the rollback point: they belong to the
         # abandoned trajectory and must never be restored from again
         for s, npz, state_path in CheckpointPolicy.list_checkpoints(

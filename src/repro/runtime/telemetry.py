@@ -134,21 +134,90 @@ def step_record(evolver, step: int, dt: float) -> dict:
 
 # ------------------------------------------------------------------ monitor
 def read_events(path: str) -> list[dict]:
-    """Parse a telemetry stream; a torn final line (crash) is tolerated."""
+    """Parse a telemetry stream, returning every *complete* record.
+
+    Torn lines are skipped wherever they appear, not only at the end of
+    the file: a live writer leaves a partial final line, and a crashed
+    writer that was later resumed (the writer opens in append mode) leaves
+    the torn record mid-file with complete records after it.  Live
+    monitors — ``ps``, ``logs``, ``tail -f`` — read concurrently with the
+    writer, so raising on a torn line would make them flaky by design.
+    """
     events: list[dict] = []
     with open(path, encoding="utf-8") as fh:
         lines = fh.readlines()
-    for i, line in enumerate(lines):
+    for line in lines:
         line = line.strip()
         if not line:
             continue
         try:
             events.append(json.loads(line))
         except json.JSONDecodeError:
-            if i == len(lines) - 1:
-                break  # interrupted mid-write; expected after a crash
-            raise
+            continue  # torn write (crash or in-flight writer)
     return events
+
+
+class JsonlFollower:
+    """Incremental reader over a growing JSONL file.
+
+    Keeps a byte offset and a partial-line buffer between polls, so each
+    :meth:`poll` returns only the records appended since the last call —
+    a half-written final line stays buffered until its newline arrives.
+    The file may not exist yet; ``poll`` then returns nothing.  One
+    implementation serves ``repro tail --follow``, ``repro service logs
+    -f`` and the daemon's per-run telemetry multiplexer.
+    """
+
+    def __init__(self, path: str, from_start: bool = True):
+        self.path = str(path)
+        self._offset = 0
+        self._buffer = ""
+        if not from_start:
+            try:
+                self._offset = os.path.getsize(self.path)
+            except OSError:
+                self._offset = 0
+
+    def poll(self) -> list[dict]:
+        """Complete records appended since the previous poll."""
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                fh.seek(self._offset)
+                chunk = fh.read()
+                self._offset = fh.tell()
+        except OSError:
+            return []
+        if not chunk:
+            return []
+        self._buffer += chunk
+        records: list[dict] = []
+        while "\n" in self._buffer:
+            line, self._buffer = self._buffer.split("\n", 1)
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn write from a crashed earlier writer
+        return records
+
+
+def follow_events(path: str, poll_interval: float = 0.25, stop=None,
+                  from_start: bool = True):
+    """Yield telemetry records as they are appended (``tail -f``).
+
+    ``stop``: optional zero-argument callable checked between polls; the
+    generator returns once it is truthy *and* the file has been drained.
+    """
+    follower = JsonlFollower(path, from_start=from_start)
+    while True:
+        records = follower.poll()
+        yield from records
+        if not records and stop is not None and stop():
+            return
+        if not records:
+            time.sleep(poll_interval)
 
 
 def summarise(run_dir_or_path: str) -> dict:

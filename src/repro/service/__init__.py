@@ -1,0 +1,73 @@
+"""Multi-tenant run service over the execution engine.
+
+A persistent daemon (:class:`RunService`) that owns a service root
+directory, accepts run specs over a unix socket, packs them onto a
+shared worker budget with a :class:`FairShareScheduler`, launches each
+RUNNING episode through a launcher (subprocess for isolation, threads
+for tests), and preempts runs through the controller's standard
+drain-to-checkpoint path so a preempted run resumes bit-exactly.
+
+See ``docs/SERVICE.md`` for the architecture and CLI walk-through.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import RunService, socket_path
+from repro.service.launcher import (
+    InProcessLauncher,
+    RunHandle,
+    SubprocessLauncher,
+    resolve_launcher,
+    result_path,
+)
+from repro.service.registry import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    LEGAL_TRANSITIONS,
+    PREEMPTED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    TERMINAL_STATES,
+    IllegalTransitionError,
+    RunRecord,
+    RunRegistry,
+    UnknownRunError,
+)
+from repro.service.scheduler import Decision, FairShareScheduler
+from repro.service.simulate import SimJob, SimResult, VirtualCluster
+from repro.service.specs import PRESETS, RunJob, SpecError, build_job
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "LEGAL_TRANSITIONS",
+    "PREEMPTED",
+    "PRESETS",
+    "QUEUED",
+    "RUNNING",
+    "STATES",
+    "TERMINAL_STATES",
+    "Decision",
+    "FairShareScheduler",
+    "IllegalTransitionError",
+    "InProcessLauncher",
+    "RunHandle",
+    "RunJob",
+    "RunRecord",
+    "RunRegistry",
+    "RunService",
+    "ServiceClient",
+    "ServiceError",
+    "SimJob",
+    "SimResult",
+    "SpecError",
+    "SubprocessLauncher",
+    "UnknownRunError",
+    "VirtualCluster",
+    "build_job",
+    "resolve_launcher",
+    "result_path",
+    "socket_path",
+]

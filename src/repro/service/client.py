@@ -1,0 +1,129 @@
+"""Client for the run-service socket: one JSON line out, one back.
+
+:class:`ServiceClient` opens a fresh connection per request — the
+protocol is stateless, so this keeps the client trivially robust against
+daemon restarts — and raises :class:`ServiceError` whenever the daemon
+answers ``{"ok": false}`` or cannot be reached at all.  The CLI
+(``repro service ...``) and the tests are both thin layers over this.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+
+from repro.service.daemon import socket_path
+from repro.service.registry import TERMINAL_STATES
+
+
+class ServiceError(RuntimeError):
+    """The daemon refused a request or is unreachable."""
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.daemon.RunService` by root dir."""
+
+    def __init__(self, root: str, timeout: float = 10.0):
+        self.root = str(root)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------ transport
+    def request(self, op: str, **payload) -> dict:
+        """Send one op; return the daemon's reply dict (``ok`` is true)."""
+        path = socket_path(self.root)
+        if not os.path.exists(path):
+            raise ServiceError(
+                f"no service socket at {path} — is the daemon running? "
+                f"(repro service start --root {self.root})"
+            )
+        message = dict(payload)
+        message["op"] = op
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
+                conn.settimeout(self.timeout)
+                conn.connect(path)
+                conn.sendall((json.dumps(message) + "\n").encode("utf-8"))
+                reply = self._read_line(conn)
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            raise ServiceError(f"service request failed: {exc}") from exc
+        if not reply.get("ok"):
+            raise ServiceError(reply.get("error", "request refused"))
+        return reply
+
+    @staticmethod
+    def _read_line(conn: socket.socket) -> dict:
+        chunks = []
+        while True:
+            chunk = conn.recv(4096)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+        raw = b"".join(chunks).decode("utf-8").strip()
+        if not raw:
+            raise ServiceError("empty reply from daemon")
+        return json.loads(raw)
+
+    # -------------------------------------------------------------- helpers
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def submit(self, spec: dict, *, tenant: str = "default",
+               priority: int = 0, workers: int = 1) -> str:
+        """Submit a run spec; returns the new run id."""
+        reply = self.request("submit", spec=spec, tenant=tenant,
+                             priority=priority, workers=workers)
+        return reply["run"]
+
+    def ps(self) -> dict:
+        return self.request("ps")
+
+    def status(self, run_id: str) -> dict:
+        """One run's ``ps`` entry; raises if the run is unknown."""
+        for entry in self.ps()["runs"]:
+            if entry["run"] == run_id:
+                return entry
+        raise ServiceError(f"unknown run {run_id!r}")
+
+    def cancel(self, run_id: str) -> dict:
+        return self.request("cancel", run=run_id)
+
+    def preempt(self, run_id: str) -> dict:
+        return self.request("preempt", run=run_id)
+
+    def logs(self, run_id: str, n: int = 20) -> dict:
+        return self.request("logs", run=run_id, n=n)
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+    def wait(self, run_ids, timeout: float = 120.0,
+             poll_interval: float = 0.1) -> dict:
+        """Block until every listed run is terminal; returns id -> entry.
+
+        Raises :class:`ServiceError` on timeout with the still-live runs
+        named, so test failures point at the stuck run immediately.
+        """
+        if isinstance(run_ids, str):
+            run_ids = [run_ids]
+        wanted = list(run_ids)
+        deadline = time.monotonic() + float(timeout)
+        while True:
+            entries = {e["run"]: e for e in self.ps()["runs"]
+                       if e["run"] in wanted}
+            missing = [rid for rid in wanted if rid not in entries]
+            if missing:
+                raise ServiceError(f"unknown runs: {missing}")
+            live = [rid for rid, e in entries.items()
+                    if e["state"] not in TERMINAL_STATES]
+            if not live:
+                return entries
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out waiting for {live} "
+                    f"(states: {[entries[r]['state'] for r in live]})"
+                )
+            time.sleep(poll_interval)

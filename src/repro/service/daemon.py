@@ -1,0 +1,424 @@
+"""The run-service daemon: socket API, scheduler tick, run supervision.
+
+One :class:`RunService` owns a service root directory::
+
+    <root>/service.sock    — newline-JSON control socket
+    <root>/journal.jsonl   — registry transitions + multiplexed run telemetry
+    <root>/runs/<id>/      — per-run registry entries (see registry.py)
+
+and three responsibilities, all driven from a single tick thread so the
+scheduler never races itself:
+
+* **supervision** — poll every live run handle; map finished episodes
+  onto registry transitions (``DONE`` / ``FAILED`` / ``PREEMPTED`` /
+  ``CANCELLED``), release their worker leases, and feed measured wall
+  times back into the scheduler's cost model;
+* **scheduling** — hand the queued/running records to the
+  :class:`~repro.service.scheduler.FairShareScheduler` and apply its
+  decisions: start runs within the :class:`~repro.exec.WorkerLedger`
+  budget, drain strictly-lower-priority runs when preemption is due;
+* **telemetry multiplexing** — follow each running run's
+  ``telemetry.jsonl`` with a :class:`~repro.runtime.JsonlFollower` and
+  append the records into the service journal tagged with the run id, so
+  one ``tail -f journal.jsonl`` watches the whole fleet.
+
+The socket protocol is one JSON object per line, one response line per
+request: ``{"op": "submit", "spec": {...}, "priority": 1}`` →
+``{"ok": true, "run": "r000001"}``.  See :mod:`repro.service.client`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+
+from repro.exec.accounting import LedgerError, WorkerLedger
+from repro.runtime.telemetry import JsonlFollower, read_events
+from repro.service import registry as reg
+from repro.service.launcher import resolve_launcher
+from repro.service.registry import (
+    IllegalTransitionError,
+    RunRegistry,
+    UnknownRunError,
+)
+from repro.service.scheduler import FairShareScheduler
+
+SOCKET_NAME = "service.sock"
+
+
+def socket_path(root: str) -> str:
+    return os.path.join(root, SOCKET_NAME)
+
+
+class RunService:
+    """Multi-tenant run daemon over a service root directory.
+
+    Parameters
+    ----------
+    root:
+        Service root (created).  Holds the socket, journal and registry.
+    total_workers:
+        Shared worker budget the scheduler packs runs into.
+    launcher:
+        ``"subprocess"`` (default; isolation + signal-based preemption)
+        or ``"inprocess"`` (threads; used by the tier-1 tests), or a
+        launcher object.
+    scheduler:
+        Optional :class:`FairShareScheduler` override (weights, aging).
+    tick_interval:
+        Seconds between supervision/scheduling rounds.
+    """
+
+    def __init__(self, root: str, total_workers: int = 4, *,
+                 launcher="subprocess", scheduler=None,
+                 tick_interval: float = 0.05):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.registry = RunRegistry(self.root)
+        self.ledger = WorkerLedger(total_workers)
+        self.scheduler = scheduler or FairShareScheduler()
+        self.launcher = resolve_launcher(launcher)
+        self.tick_interval = float(tick_interval)
+        self._handles: dict = {}
+        #: run_id -> intent behind the live drain ("preempt" | "cancel")
+        self._drain_intent: dict[str, str] = {}
+        self._followers: dict[str, JsonlFollower] = {}
+        self._started_at: dict[str, float] = {}
+        self._stop = threading.Event()
+        self._tick_thread: threading.Thread | None = None
+        self._sock: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Recover the registry, bind the socket, start the tick loop."""
+        healed = self.registry.recover()
+        self.registry.journal(
+            "service_start", pid=os.getpid(),
+            workers=self.ledger.total, launcher=self.launcher.name,
+            recovered=[{"run": rid, "state": state}
+                       for rid, state in healed],
+        )
+        path = socket_path(self.root)
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(path)
+        self._sock.listen(16)
+        self._sock.settimeout(0.2)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="svc-accept", daemon=True)
+        self._accept_thread.start()
+        self._tick_thread = threading.Thread(
+            target=self._tick_loop, name="svc-tick", daemon=True)
+        self._tick_thread.start()
+
+    def serve_forever(self) -> None:
+        """start() then block until a ``shutdown`` request lands."""
+        self.start()
+        try:
+            while not self._stop.is_set():
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+        self.shutdown()
+
+    def shutdown(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Stop scheduling; drain (or kill) live runs; close the socket."""
+        self._stop.set()
+        with self._lock:
+            for run_id, handle in list(self._handles.items()):
+                if drain:
+                    self._drain_intent.setdefault(run_id, "preempt")
+                    handle.preempt("service shutdown")
+                else:
+                    handle.kill()
+        deadline = time.monotonic() + timeout
+        while self._handles and time.monotonic() < deadline:
+            self._tick()
+            time.sleep(self.tick_interval)
+        if self._tick_thread is not None:
+            self._tick_thread.join(timeout=5.0)
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+        try:
+            os.unlink(socket_path(self.root))
+        except FileNotFoundError:
+            pass
+        self.registry.journal("service_stop", pid=os.getpid(),
+                              drained=drain)
+
+    # ----------------------------------------------------------- tick loop
+    def _tick_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._tick()
+            except Exception as exc:  # the daemon must outlive bad ticks
+                self.registry.journal("tick_error", error=repr(exc))
+            time.sleep(self.tick_interval)
+
+    def _tick(self) -> None:
+        with self._lock:
+            self._multiplex_telemetry()
+            self._reap()
+            if not self._stop.is_set():
+                self._schedule()
+
+    # ---------------------------------------------------------- supervision
+    def _reap(self) -> None:
+        for run_id, handle in list(self._handles.items()):
+            result = handle.poll()
+            if result is None:
+                continue
+            self._multiplex_telemetry(run_id)  # drain the final records
+            del self._handles[run_id]
+            self._followers.pop(run_id, None)
+            self.ledger.release(run_id)
+            intent = self._drain_intent.pop(run_id, None)
+            started = self._started_at.pop(run_id, None)
+            wall = float(result.get("wall") or (
+                time.time() - started if started else 0.0))
+            try:
+                record = self.registry.load(run_id)
+            except UnknownRunError:
+                continue
+            self.scheduler.observe_run(record, wall)
+            outcome = result.get("outcome", "failed")
+            try:
+                if outcome == "failed":
+                    self.registry.transition(
+                        run_id, reg.FAILED, result=result,
+                        note=str(result.get("error", ""))[:500])
+                    self.scheduler.forget(run_id)
+                elif outcome == "preempted" and intent == "cancel":
+                    self.registry.transition(
+                        run_id, reg.CANCELLED, result=result,
+                        note="cancelled while running")
+                    self.scheduler.forget(run_id)
+                elif outcome == "preempted":
+                    self.registry.transition(
+                        run_id, reg.PREEMPTED, result=result,
+                        note=str(result.get("drain", "preempt")))
+                else:
+                    self.registry.transition(
+                        run_id, reg.DONE, result=result)
+                    self.scheduler.forget(run_id)
+            except IllegalTransitionError as exc:
+                self.registry.journal("reap_conflict", run=run_id,
+                                      error=str(exc))
+
+    def _multiplex_telemetry(self, only: str | None = None) -> None:
+        run_ids = [only] if only is not None else list(self._handles)
+        for run_id in run_ids:
+            follower = self._followers.get(run_id)
+            if follower is None:
+                follower = self._followers[run_id] = JsonlFollower(
+                    os.path.join(self.registry.controller_dir(run_id),
+                                 "telemetry.jsonl"))
+            for record in follower.poll():
+                self.registry.journal("run_telemetry", run=run_id,
+                                      record=record)
+
+    # ----------------------------------------------------------- scheduling
+    def _schedule(self) -> None:
+        records = self.registry.list_runs()
+        queued = [r for r in records
+                  if r.state in (reg.QUEUED, reg.PREEMPTED)
+                  and r.run_id not in self._handles]
+        running = [r for r in records if r.state == reg.RUNNING]
+        decision = self.scheduler.decide(
+            queued, running, self.ledger.total,
+            draining=frozenset(self._drain_intent))
+        for run_id in decision.preempt:
+            handle = self._handles.get(run_id)
+            if handle is None:
+                continue
+            self._drain_intent[run_id] = "preempt"
+            handle.preempt("preempted by scheduler")
+            self.registry.journal("preempt_requested", run=run_id)
+        for run_id in decision.start:
+            self._start_run(run_id)
+
+    def _start_run(self, run_id: str) -> None:
+        try:
+            record = self.registry.load(run_id)
+            spec = self.registry.load_spec(run_id)
+        except UnknownRunError:
+            return
+        workers = min(record.workers, self.ledger.total)
+        try:
+            self.ledger.lease(run_id, workers)
+        except LedgerError as exc:
+            self.registry.journal("lease_denied", run=run_id,
+                                  error=str(exc))
+            return
+        try:
+            self.registry.transition(run_id, reg.RUNNING)
+        except IllegalTransitionError:
+            self.ledger.release(run_id)  # cancelled between tick and apply
+            return
+        try:
+            handle = self.launcher.launch(
+                run_id, spec, self.registry.controller_dir(run_id))
+        except Exception as exc:
+            self.ledger.release(run_id)
+            self.registry.transition(
+                run_id, reg.FAILED,
+                note=f"launch failed: {exc}",
+                result={"outcome": "failed", "error": str(exc)})
+            self.scheduler.forget(run_id)
+            return
+        self._handles[run_id] = handle
+        self._started_at[run_id] = time.time()
+
+    # ------------------------------------------------------------- requests
+    def handle_request(self, request: dict) -> dict:
+        """Dispatch one decoded client request; always returns a reply."""
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pid": os.getpid(),
+                        "workers": self.ledger.snapshot()}
+            if op == "submit":
+                return self._op_submit(request)
+            if op == "ps":
+                return self._op_ps()
+            if op == "cancel":
+                return self._op_cancel(request)
+            if op == "preempt":
+                return self._op_preempt(request)
+            if op == "logs":
+                return self._op_logs(request)
+            if op == "shutdown":
+                self._stop.set()
+                return {"ok": True, "stopping": True}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except UnknownRunError as exc:
+            return {"ok": False, "error": f"unknown run {exc.args[0]!r}"}
+        except (IllegalTransitionError, ValueError) as exc:
+            return {"ok": False, "error": str(exc)}
+
+    def _op_submit(self, request: dict) -> dict:
+        spec = request.get("spec")
+        if not isinstance(spec, dict):
+            return {"ok": False, "error": "submit needs a spec object"}
+        workers = int(request.get("workers", 1))
+        if workers > self.ledger.total:
+            return {"ok": False,
+                    "error": f"workers {workers} exceeds service budget "
+                             f"{self.ledger.total}"}
+        record = self.registry.submit(
+            spec,
+            tenant=str(request.get("tenant", "default")),
+            priority=int(request.get("priority", 0)),
+            workers=workers,
+        )
+        return {"ok": True, "run": record.run_id, "state": record.state}
+
+    def _op_ps(self) -> dict:
+        runs = []
+        for record in self.registry.list_runs():
+            entry = {
+                "run": record.run_id, "state": record.state,
+                "tenant": record.tenant, "priority": record.priority,
+                "workers": record.workers, "attempts": record.attempts,
+                "preemptions": record.preemptions,
+                "note": record.note,
+            }
+            if record.state in (reg.QUEUED, reg.PREEMPTED):
+                est = self.scheduler.estimate_seconds(record)
+                if est is not None:
+                    entry["eta_seconds"] = round(est, 3)
+            if record.result:
+                entry["result"] = {
+                    k: record.result[k]
+                    for k in ("outcome", "steps", "recoveries",
+                              "fingerprint")
+                    if k in record.result
+                }
+            runs.append(entry)
+        return {"ok": True, "runs": runs,
+                "workers": self.ledger.snapshot()}
+
+    def _op_cancel(self, request: dict) -> dict:
+        run_id = str(request.get("run"))
+        with self._lock:
+            record = self.registry.load(run_id)
+            if record.terminal:
+                return {"ok": True, "run": run_id, "state": record.state}
+            if record.state == reg.RUNNING:
+                handle = self._handles.get(run_id)
+                self._drain_intent[run_id] = "cancel"
+                if handle is not None:
+                    handle.preempt("cancel")
+                return {"ok": True, "run": run_id, "state": reg.RUNNING,
+                        "draining": True}
+            record = self.registry.transition(
+                run_id, reg.CANCELLED, note="cancelled by client")
+            self.scheduler.forget(run_id)
+        return {"ok": True, "run": run_id, "state": record.state}
+
+    def _op_preempt(self, request: dict) -> dict:
+        run_id = str(request.get("run"))
+        with self._lock:
+            record = self.registry.load(run_id)
+            if record.state != reg.RUNNING:
+                return {"ok": False,
+                        "error": f"run {run_id} is {record.state}, "
+                                 f"not RUNNING"}
+            self._drain_intent[run_id] = "preempt"
+            handle = self._handles.get(run_id)
+            if handle is not None:
+                handle.preempt("preempted by client")
+        return {"ok": True, "run": run_id, "draining": True}
+
+    def _op_logs(self, request: dict) -> dict:
+        run_id = str(request.get("run"))
+        self.registry.load(run_id)  # raises UnknownRunError
+        path = os.path.join(self.registry.controller_dir(run_id),
+                            "telemetry.jsonl")
+        events: list = []
+        if os.path.exists(path):
+            events = read_events(path)
+        n = int(request.get("n", 20))
+        return {"ok": True, "run": run_id, "path": path,
+                "total": len(events), "events": events[-n:]}
+
+    # --------------------------------------------------------------- socket
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set() and self._sock is not None:
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(target=self._serve_connection, args=(conn,),
+                             daemon=True).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            reader = conn.makefile("r", encoding="utf-8")
+            writer = conn.makefile("w", encoding="utf-8")
+            for line in reader:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    reply = {"ok": False, "error": f"bad request: {exc}"}
+                else:
+                    reply = self.handle_request(request)
+                try:
+                    writer.write(json.dumps(reply) + "\n")
+                    writer.flush()
+                except (BrokenPipeError, OSError):
+                    return

@@ -1,0 +1,217 @@
+"""Fair-share run scheduler: packs many runs onto a shared worker budget.
+
+The scheduler is a pure decision function over registry records — it owns
+no threads, no sockets, no clocks.  Each call to :meth:`decide` looks at
+the queued and running runs and returns two lists: runs to start (or
+resume) now, and running runs to drain to checkpoint because something
+strictly more important is waiting.  The daemon applies the actions; the
+virtual cluster in :mod:`repro.service.simulate` replays them under a
+synthetic clock, which is how the invariant tests and
+``benchmarks/bench_service.py`` exercise years of scheduling in
+milliseconds.
+
+Policy, in decreasing precedence:
+
+1. **Priority classes** — larger ``priority`` schedules first, and a
+   queued run may preempt running runs of *strictly* lower base priority
+   when the free budget cannot fit it.
+2. **Weighted fair share** — within a priority class, tenants are ordered
+   by accumulated usage (worker-seconds) divided by their weight, least
+   served first, so two equal-weight tenants converge to equal shares and
+   a weight-2 tenant to twice the share of a weight-1 tenant.
+3. **Cost estimates** — remaining ties prefer the cheapest run first,
+   using measured seconds-per-cell from the execution engine's
+   :class:`~repro.exec.calibration.WorkCalibrator` (kind ``"run"``) once
+   at least one run has completed, and the analytic cell count before
+   that.  Shortest-first backfill is where the throughput win over FIFO
+   comes from: a wide run at the queue head no longer blocks narrow runs
+   that would fit the idle workers behind it.
+4. **Aging** — a run's effective priority rises by one class every
+   ``aging_rounds`` scheduling rounds it spends queued, so low-priority
+   runs cannot starve behind a steady stream of high-priority arrivals.
+   Aging affects admission order only, never preemption rights.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.exec.calibration import WorkCalibrator
+
+
+@dataclass
+class Decision:
+    """One scheduling round's actions, in apply order."""
+
+    #: run ids to start/resume now (budget already verified)
+    start: list = field(default_factory=list)
+    #: running run ids to drain to checkpoint (preemption)
+    preempt: list = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.start or self.preempt)
+
+
+class FairShareScheduler:
+    """Priority + weighted-fair-share + cost-aware backfill scheduler.
+
+    Parameters
+    ----------
+    weights:
+        Tenant -> fair-share weight (default 1.0 each).
+    aging_rounds:
+        Queued rounds per effective-priority class gained (anti-starvation);
+        ``0`` disables aging.
+    backfill:
+        Keep scanning the queue when the head does not fit.  ``False``
+        gives strict head-of-line blocking (the FIFO baseline).
+    preemption:
+        Allow draining strictly-lower-priority running runs.
+    fair_share / cost_aware:
+        Toggle ordering terms 2 and 3 (the FIFO baseline disables both).
+    calibrator:
+        Shared :class:`WorkCalibrator`; completed runs are fed back via
+        :meth:`observe_run` as kind ``"run"`` observations.
+    """
+
+    def __init__(self, weights: dict | None = None, *, aging_rounds: int = 25,
+                 backfill: bool = True, preemption: bool = True,
+                 fair_share: bool = True, cost_aware: bool = True,
+                 calibrator: WorkCalibrator | None = None):
+        self.weights = dict(weights or {})
+        self.aging_rounds = int(aging_rounds)
+        self.backfill = bool(backfill)
+        self.preemption = bool(preemption)
+        self.fair_share = bool(fair_share)
+        self.cost_aware = bool(cost_aware)
+        self.calibrator = calibrator or WorkCalibrator()
+        #: tenant -> accumulated worker-seconds (the fair-share ledger)
+        self.usage: dict[str, float] = defaultdict(float)
+        #: run_id -> scheduling rounds spent queued (drives aging)
+        self.wait_rounds: dict[str, int] = defaultdict(int)
+
+    @classmethod
+    def fifo(cls) -> "FairShareScheduler":
+        """Strict submission-order baseline: no backfill, no preemption,
+        no fair share, no cost awareness — the comparison anchor for
+        ``benchmarks/bench_service.py``."""
+        return cls(aging_rounds=0, backfill=False, preemption=False,
+                   fair_share=False, cost_aware=False)
+
+    # -------------------------------------------------------------- ledger
+    def weight(self, tenant: str) -> float:
+        return max(float(self.weights.get(tenant, 1.0)), 1e-9)
+
+    def share(self, tenant: str) -> float:
+        """Usage normalised by weight — the fair-share sort key."""
+        return self.usage[tenant] / self.weight(tenant)
+
+    def note_usage(self, tenant: str, worker_seconds: float) -> None:
+        """Charge consumed capacity to a tenant's fair-share account."""
+        if worker_seconds > 0.0:
+            self.usage[tenant] += float(worker_seconds)
+
+    def observe_run(self, record, wall_seconds: float) -> None:
+        """Fold a finished RUNNING episode into the cost model."""
+        self.note_usage(record.tenant, wall_seconds * record.workers)
+        self.calibrator.observe("run", 0, max(record.cells, 1), wall_seconds)
+
+    def estimate_seconds(self, record) -> float | None:
+        """Predicted wall seconds for a run, None before any measurement."""
+        rate = self.calibrator.rate("run", 0)
+        if rate is None:
+            return None
+        return rate * max(record.cells, 1)
+
+    # ------------------------------------------------------------ ordering
+    def _effective_priority(self, record) -> int:
+        if self.aging_rounds <= 0:
+            return record.priority
+        return record.priority + self.wait_rounds[record.run_id] \
+            // self.aging_rounds
+
+    def _order_key(self, record):
+        cost_key = 0.0
+        if self.cost_aware:
+            cost = self.estimate_seconds(record)
+            # analytic cell count stands in until a run has been measured
+            cost_key = cost if cost is not None \
+                else float(max(record.cells, 1))
+        return (
+            -self._effective_priority(record),
+            self.share(record.tenant) if self.fair_share else 0.0,
+            cost_key,
+            record.seq,
+        )
+
+    # -------------------------------------------------------------- decide
+    def decide(self, queued, running, total_workers: int,
+               draining=frozenset()) -> Decision:
+        """One scheduling round.
+
+        ``queued``: RunRecords in QUEUED or PREEMPTED (schedulable).
+        ``running``: RunRecords in RUNNING.  ``draining``: ids of running
+        runs already asked to drain — their workers count as "freeing
+        soon", so a pending preemption is never doubled up.
+        """
+        decision = Decision()
+        total_workers = int(total_workers)
+        running = list(running)
+        free = total_workers - sum(r.workers for r in running)
+        soon_free = sum(r.workers for r in running if r.run_id in draining)
+        chosen_victims: set[str] = set()
+
+        for record in sorted(queued, key=self._order_key):
+            self.wait_rounds[record.run_id] += 1
+            need = min(record.workers, total_workers)
+            if need <= free:
+                decision.start.append(record.run_id)
+                free -= need
+                self.wait_rounds.pop(record.run_id, None)
+                continue
+            if self.preemption:
+                deficit = need - free - soon_free
+                if deficit > 0:
+                    victims = self._pick_victims(
+                        record, running, draining | chosen_victims, deficit)
+                    if victims:
+                        for victim in victims:
+                            chosen_victims.add(victim.run_id)
+                            soon_free += victim.workers
+                        decision.preempt.extend(
+                            v.run_id for v in victims)
+                # the preempted capacity is claimed on a later round, once
+                # the victims have drained to checkpoint
+            if not self.backfill:
+                break
+        return decision
+
+    def _pick_victims(self, candidate, running, untouchable,
+                      deficit: int) -> list:
+        """Cheapest set of strictly-lower-priority runs covering ``deficit``.
+
+        Victims are taken lowest base priority first, youngest first within
+        a class (the least progress is thrown into its checkpoint), and
+        only if the deficit is actually coverable — a partial preemption
+        that still cannot seat the candidate would churn runs for nothing.
+        """
+        eligible = [
+            r for r in running
+            if r.priority < candidate.priority
+            and r.run_id not in untouchable
+        ]
+        eligible.sort(key=lambda r: (r.priority, -r.seq))
+        victims, freed = [], 0
+        for victim in eligible:
+            if freed >= deficit:
+                break
+            victims.append(victim)
+            freed += victim.workers
+        return victims if freed >= deficit else []
+
+    # ------------------------------------------------------------ forget
+    def forget(self, run_id: str) -> None:
+        """Drop per-run scheduler state once a run reaches a terminal
+        state (cancelled while queued, failed, done)."""
+        self.wait_rounds.pop(run_id, None)

@@ -1,0 +1,185 @@
+"""Virtual-time cluster: replay a scheduler against synthetic runs.
+
+The fair-share invariants worth testing — convergence of tenant shares,
+absence of starvation, throughput of backfill vs FIFO — emerge over
+hundreds of run lifetimes.  Executing real simulations for that would
+take hours; this module replays the *decisions* under a virtual clock in
+milliseconds, using the same :class:`~repro.service.scheduler.
+FairShareScheduler` object and the same RunRecord shape the daemon feeds
+it, so what the tests and ``benchmarks/bench_service.py`` measure is the
+production decision logic, not a model of it.
+
+Preemption semantics mirror the real service: a preempted job keeps its
+completed virtual seconds (they are "in the checkpoint") and pays a fixed
+``preempt_overhead`` on top of its remaining duration when it resumes —
+the cost of the drain/restore cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.service.registry import (
+    DONE,
+    PREEMPTED,
+    QUEUED,
+    RUNNING,
+    RunRecord,
+)
+from repro.service.scheduler import FairShareScheduler
+
+
+@dataclass
+class SimJob:
+    """A synthetic run: how big it is and when it arrives."""
+
+    name: str
+    duration: float
+    tenant: str = "default"
+    priority: int = 0
+    workers: int = 1
+    arrival: float = 0.0
+    #: analytic size estimate fed to the cost model (defaults to duration
+    #: so the calibrator's seconds-per-cell converges to 1)
+    cells: int | None = None
+
+
+@dataclass
+class SimResult:
+    """Per-job outcome plus cluster-level aggregates."""
+
+    makespan: float
+    #: completed work / (total_workers * makespan)
+    utilisation: float
+    #: jobs per virtual hour
+    runs_per_hour: float
+    #: name -> {"start", "finish", "wait", "preemptions"}
+    jobs: dict = field(default_factory=dict)
+    #: tenant -> worker-seconds actually consumed
+    tenant_usage: dict = field(default_factory=dict)
+    #: virtual rounds the cluster ran
+    rounds: int = 0
+
+
+class VirtualCluster:
+    """Discrete-time replay of scheduler decisions over synthetic jobs."""
+
+    def __init__(self, scheduler: FairShareScheduler, total_workers: int,
+                 tick: float = 1.0, preempt_overhead: float = 0.0):
+        self.scheduler = scheduler
+        self.total_workers = int(total_workers)
+        self.tick = float(tick)
+        self.preempt_overhead = float(preempt_overhead)
+
+    def run(self, jobs: list[SimJob], max_time: float = 10_000_000.0
+            ) -> SimResult:
+        records: dict[str, RunRecord] = {}
+        meta: dict[str, dict] = {}
+        for seq, job in enumerate(sorted(jobs, key=lambda j: (j.arrival,))):
+            rid = f"r{seq:06d}"
+            records[rid] = RunRecord(
+                run_id=rid, tenant=job.tenant, priority=job.priority,
+                workers=min(job.workers, self.total_workers), seq=seq,
+                cells=int(job.cells if job.cells is not None
+                          else max(job.duration, 1.0)),
+            )
+            meta[rid] = {
+                "job": job, "remaining": float(job.duration),
+                "start": None, "finish": None, "episode_start": None,
+            }
+
+        t = 0.0
+        rounds = 0
+        busy_work = 0.0
+        draining: set[str] = set()
+        while t < max_time:
+            rounds += 1
+            # --- arrivals become schedulable -----------------------------
+            queued = [
+                r for rid, r in records.items()
+                if r.state in (QUEUED, PREEMPTED)
+                and meta[rid]["job"].arrival <= t
+            ]
+            running = [r for r in records.values() if r.state == RUNNING]
+            if not queued and not running:
+                if all(r.state == DONE for r in records.values()):
+                    break
+                t += self.tick  # waiting for a future arrival
+                continue
+
+            decision = self.scheduler.decide(
+                queued, running, self.total_workers, draining=draining)
+            for rid in decision.preempt:
+                draining.add(rid)
+            for rid in decision.start:
+                record = records[rid]
+                resumed = record.state == PREEMPTED
+                record.state = RUNNING
+                record.attempts += 1
+                info = meta[rid]
+                info["episode_start"] = t
+                if info["start"] is None:
+                    info["start"] = t
+                if resumed:
+                    info["remaining"] += self.preempt_overhead
+
+            # --- advance one tick ---------------------------------------
+            for record in records.values():
+                if record.state != RUNNING:
+                    continue
+                info = meta[record.run_id]
+                step = min(self.tick, info["remaining"])
+                info["remaining"] -= step
+                busy_work += step * record.workers
+                self.scheduler.note_usage(record.tenant,
+                                          step * record.workers)
+                if info["remaining"] <= 1e-12:
+                    record.state = DONE
+                    info["finish"] = t + step
+                    draining.discard(record.run_id)
+                    wall = t + step - info["episode_start"]
+                    record.wall += wall
+                    self.scheduler.calibrator.observe(
+                        "run", 0, record.cells, max(wall, 1e-9))
+                    self.scheduler.forget(record.run_id)
+                elif record.run_id in draining:
+                    # drain completes at the tick boundary (the virtual
+                    # analogue of "next root-step boundary")
+                    record.state = PREEMPTED
+                    record.preemptions += 1
+                    record.wall += t + self.tick - info["episode_start"]
+                    draining.discard(record.run_id)
+            t += self.tick
+
+        makespan = max(
+            (info["finish"] for info in meta.values()
+             if info["finish"] is not None),
+            default=0.0,
+        )
+        # report the scheduler's own ledger (single source of truth)
+        usage = dict(self.scheduler.usage)
+        done = [r for r in records.values() if r.state == DONE]
+        return SimResult(
+            makespan=makespan,
+            utilisation=(
+                busy_work / (self.total_workers * makespan)
+                if makespan > 0 else 0.0
+            ),
+            runs_per_hour=(
+                len(done) / (makespan / 3600.0) if makespan > 0 else 0.0
+            ),
+            jobs={
+                meta[rid]["job"].name: {
+                    "start": meta[rid]["start"],
+                    "finish": meta[rid]["finish"],
+                    "wait": (
+                        meta[rid]["start"] - meta[rid]["job"].arrival
+                        if meta[rid]["start"] is not None else None
+                    ),
+                    "preemptions": records[rid].preemptions,
+                }
+                for rid in records
+            },
+            tenant_usage=usage,
+            rounds=rounds,
+        )

@@ -1,0 +1,179 @@
+"""Run specs: the JSON contract between clients, registry and workers.
+
+A run spec is the complete, self-contained recipe for a run::
+
+    {"problem": "collapse",            # or "simulation"
+     "kwargs": {"n_root": 8, ...},     # constructor kwargs
+     "z_end": 80.0,                    # collapse: stop redshift
+     "t_end": 0.5,                     # simulation: stop time (code units)
+     "max_steps": 40,                  # root-step budget (optional)
+     "checkpoint_every": 2,            # checkpoint cadence
+     "keep_last": 3,                   # checkpoint retention
+     "preset": "blob",                 # simulation: named initial state
+     "preset_args": {"seed": 3},       #   (specs must be pure JSON)
+     "faults": "nan_cell:level=0,...", # chaos gate (subprocess runs only)
+     "fault_seed": 7}
+
+The same :func:`build_job` serves the in-process launcher (scheduler
+tests) and the ``repro service-worker`` subprocess (production path), so
+a run preempted under one launcher resumes identically under the other:
+whether to ``run()`` fresh or ``resume()`` is decided by the presence of
+a loadable checkpoint pair in the run directory, exactly like the
+operator-facing ``repro resume`` CLI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.checkpoint_policy import CheckpointPolicy
+
+
+class SpecError(ValueError):
+    """A run spec the service cannot build a problem from."""
+
+
+# ------------------------------------------------------------------ presets
+def _preset_blob(sim, args: dict) -> None:
+    """Self-gravitating Gaussian overdensity with a cold particle cloud —
+    the small deterministic workload the runtime tests evolve."""
+    amplitude = float(args.get("amplitude", 10.0))
+    width = float(args.get("width", 0.01))
+    centre = args.get("centre", (0.5, 0.5, 0.5))
+    cx, cy, cz = (float(c) for c in centre)
+    sim.set_density(lambda x, y, z: 1 + amplitude * np.exp(
+        -((x - cx) ** 2 + (y - cy) ** 2 + (z - cz) ** 2) / width))
+    sim.set_field("internal", lambda x, y, z: np.full_like(
+        x, float(args.get("internal", 0.05))))
+    n_particles = int(args.get("n_particles", 0))
+    if n_particles > 0:
+        from repro.nbody.particles import ParticleSet
+
+        rng = np.random.default_rng(int(args.get("seed", 3)))
+        sim.hierarchy.particles = ParticleSet.from_arrays(
+            rng.random((n_particles, 3)),
+            0.01 * rng.standard_normal((n_particles, 3)),
+            np.full(n_particles, 1e-3),
+        )
+
+
+PRESETS = {"blob": _preset_blob}
+
+
+# -------------------------------------------------------------------- build
+def checkpoint_policy_of(spec: dict) -> CheckpointPolicy:
+    return CheckpointPolicy(
+        every_steps=int(spec.get("checkpoint_every", 2)),
+        keep_last=int(spec.get("keep_last", 3)),
+    )
+
+
+def build_job(spec: dict, run_dir: str):
+    """Build ``(problem, controller, t_end)`` from a run spec.
+
+    ``t_end`` is in code time, already resolved (for collapse specs, from
+    ``z_end``).  Raises :class:`SpecError` on anything unbuildable.
+    """
+    problem_kind = spec.get("problem")
+    kwargs = dict(spec.get("kwargs", {}))
+    policy = checkpoint_policy_of(spec)
+    if problem_kind == "collapse":
+        from repro.perf import ComponentTimers
+        from repro.problems import PrimordialCollapse
+
+        z_end = spec.get("z_end")
+        if z_end is None:
+            raise SpecError("collapse spec needs z_end")
+        problem = PrimordialCollapse(timers=ComponentTimers(), **kwargs)
+        problem.initial_rebuild()
+        controller = problem.make_controller(
+            run_dir, z_end=float(z_end), policy=policy)
+        return problem, controller, problem.code_time_of_redshift(
+            float(z_end))
+    if problem_kind == "simulation":
+        from repro import Simulation, SimulationConfig
+
+        t_end = spec.get("t_end")
+        if t_end is None:
+            raise SpecError("simulation spec needs t_end")
+        kwargs["advected"] = tuple(kwargs.get("advected", ()))
+        sim = Simulation(SimulationConfig(**kwargs))
+        preset = spec.get("preset")
+        if preset is not None:
+            fn = PRESETS.get(preset)
+            if fn is None:
+                raise SpecError(
+                    f"unknown preset {preset!r}; have {sorted(PRESETS)}")
+            fn(sim, dict(spec.get("preset_args", {})))
+        sim.initialize()
+        controller = sim.make_controller(run_dir, policy=policy)
+        return sim, controller, float(t_end)
+    raise SpecError(
+        f"spec problem must be 'collapse' or 'simulation', "
+        f"got {problem_kind!r}"
+    )
+
+
+class RunJob:
+    """One RUNNING episode of a registered run (fresh start or resume).
+
+    Thin ownership wrapper: builds the problem/controller pair lazily in
+    :meth:`execute` (construction does real work — initial conditions,
+    hierarchy rebuild) but accepts :meth:`request_drain` at any time, so
+    a preemption that lands during construction still drains at the first
+    root-step boundary.
+    """
+
+    def __init__(self, spec: dict, run_dir: str):
+        self.spec = dict(spec)
+        self.run_dir = str(run_dir)
+        self.controller = None
+        self._drain_reason: str | None = None
+
+    def request_drain(self, reason: str = "preempt") -> None:
+        self._drain_reason = str(reason)
+        if self.controller is not None:
+            self.controller.request_drain(reason)
+
+    def execute(self) -> dict:
+        """Run to completion, budget, or drain; returns the result record.
+
+        ``outcome`` is ``"done"`` (finished or hit the step budget),
+        ``"preempted"`` (drained to checkpoint) or ``"failed"``; the
+        hierarchy fingerprint is included so clients can compare a
+        preempted-and-resumed trajectory against an uninterrupted one
+        without reloading checkpoints.
+        """
+        from repro.runtime.recovery import RunFailedError
+
+        problem, controller, t_end = build_job(self.spec, self.run_dir)
+        self.controller = controller
+        if self._drain_reason is not None:
+            controller.request_drain(self._drain_reason)
+        max_steps = self.spec.get("max_steps")
+        fresh = CheckpointPolicy.latest(self.run_dir) is None
+        try:
+            if fresh:
+                summary = controller.run(t_end, max_root_steps=max_steps)
+            else:
+                summary = controller.resume()
+        except RunFailedError as exc:
+            return {"outcome": "failed", "error": str(exc),
+                    "steps": controller.step,
+                    "recoveries": controller.recoveries}
+        outcome = ("preempted" if summary["status"] == "interrupted"
+                   else "done")
+        result = {
+            "outcome": outcome,
+            "status": summary["status"],
+            "steps": summary["steps"],
+            "t": summary["t"],
+            "recoveries": summary["recoveries"],
+            "wall": summary["wall"],
+            "fingerprint": controller.hierarchy.fingerprint(),
+        }
+        if "drain" in summary:
+            result["drain"] = summary["drain"]
+        if "signal" in summary:
+            result["signal"] = summary["signal"]
+        return result

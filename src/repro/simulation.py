@@ -44,6 +44,14 @@ class SimulationConfig:
     #: in-step defense ladder (see docs/ROBUSTNESS.md); False disables the
     #: per-grid validation/rescue machinery entirely
     defense: bool = True
+    #: controlled-run checkpoint cadence (root steps between checkpoints)
+    #: and retention — forwarded into the default
+    #: :class:`repro.runtime.CheckpointPolicy` built by
+    #: :meth:`Simulation.make_controller`; rotation keeps the newest
+    #: ``checkpoint_keep_last`` pairs, never the one a preempted run will
+    #: resume from
+    checkpoint_every: int = 10
+    checkpoint_keep_last: int = 3
 
 
 class Simulation:
@@ -151,11 +159,15 @@ class Simulation:
         """
         from dataclasses import asdict
 
-        from repro.runtime import RunController
+        from repro.runtime import CheckpointPolicy, RunController
 
         opts.setdefault(
             "config", {"problem": "simulation", "kwargs": asdict(self.config)}
         )
+        opts.setdefault("policy", CheckpointPolicy(
+            every_steps=self.config.checkpoint_every,
+            keep_last=self.config.checkpoint_keep_last,
+        ))
         return RunController(self.evolver, run_dir, problem=self, **opts)
 
     def run_controlled(self, t_end: float, run_dir: str,
