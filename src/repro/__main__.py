@@ -6,9 +6,13 @@ info        — package/subsystem summary
 sod         — run the Sod shock tube and print the L1 error
 pancake     — run the Zel'dovich pancake validation
 collapse    — run a short primordial-collapse demo
+problems    — list the registered problems and their capabilities
+validate    — convergence harness: fitted error orders vs analytic or
+              self-converged reference (docs/VALIDATION.md)
 inspect F   — summarise a checkpoint file
-run         — primordial collapse under run control (checkpoints,
-              crash recovery, JSONL telemetry); survives SIGTERM
+run         — a registered problem (default: primordial collapse) under
+              run control (checkpoints, crash recovery, JSONL
+              telemetry); survives SIGTERM
 resume      — continue an interrupted/crashed run bit-exactly from its
               newest loadable checkpoint
 tail D      — summarise a run directory's telemetry stream (``-f`` to
@@ -94,6 +98,59 @@ def cmd_collapse(args) -> int:
     return 0
 
 
+def cmd_problems(args) -> int:
+    """List the registered problems (``repro run --problem ...`` names)."""
+    from repro.validation import list_problems
+
+    print(f"{'NAME':<20}{'FLAGS':<8}{'RESOLUTIONS':<14}DESCRIPTION")
+    for spec in list_problems():
+        flags = "".join([
+            "M" if spec.measurable else "-",
+            "A" if spec.analytic else "-",
+            "C" if spec.controllable else "-",
+        ])
+        res = ",".join(str(n) for n in spec.default_resolutions) or "-"
+        desc = spec.description
+        if spec.aliases:
+            desc += f"  (aliases: {', '.join(spec.aliases)})"
+        print(f"{spec.name:<20}{flags:<8}{res:<14}{desc}")
+    print("\nflags: M = measurable (convergence harness), "
+          "A = analytic reference, C = run-control capable")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """Run the convergence harness on a problem and report fitted orders."""
+    import json
+
+    from repro.validation import run_convergence
+
+    resolutions = tuple(args.resolutions) if args.resolutions else None
+    fields = args.fields.split(",") if args.fields else None
+    report = run_convergence(
+        args.problem, resolutions=resolutions, fields=fields,
+        t_end=args.t_end,
+    )
+    print(f"{report.problem}: {report.mode} convergence at "
+          f"n = {', '.join(str(n) for n in report.resolutions)} "
+          f"(t_end = {report.t_end})")
+    for fname in report.fields:
+        rows = report.norms[fname]
+        errs = "  ".join(f"{row['l1']:.3e}" for row in rows)
+        print(f"  {fname:<14} L1 = {errs}   order = "
+              f"{report.order(fname):.2f}")
+    if args.out:
+        report.save(args.out)
+        print(f"report written: {args.out}")
+    if args.floor is not None:
+        worst = min(report.order(f) for f in report.fields)
+        ok = worst >= args.floor
+        print(f"floor check: min order {worst:.2f} "
+              f"{'>=' if ok else '<'} {args.floor}")
+        return 0 if ok else 1
+    return 0
+
+
 def cmd_inspect(args) -> int:
     from repro.io import checkpoint_info
 
@@ -140,20 +197,57 @@ def cmd_run(args) -> int:
     from repro.runtime import CheckpointPolicy
 
     _install_faults(args)
+    policy = CheckpointPolicy(every_steps=args.checkpoint_every,
+                              keep_last=args.keep_last)
+    if args.problem != "collapse":
+        return _run_registry_problem(args, policy)
     run_dir = args.dir or args.telemetry or "runs/collapse"
     problem = _collapse_problem(
-        n_root=args.n, max_level=args.levels, amplitude_boost=4.0,
+        n_root=args.n or 8, max_level=args.levels, amplitude_boost=4.0,
         mass_refine_factor=8.0, with_chemistry=not args.no_chemistry,
         exec_backend=args.exec_backend, workers=args.workers,
     )
     problem.initial_rebuild()
-    controller = problem.make_controller(
-        run_dir, z_end=args.z_end,
-        policy=CheckpointPolicy(every_steps=args.checkpoint_every,
-                                keep_last=args.keep_last),
-    )
+    controller = problem.make_controller(run_dir, z_end=args.z_end,
+                                         policy=policy)
     out = controller.run(problem.code_time_of_redshift(args.z_end),
                          max_root_steps=args.max_steps)
+    _print_run_summary(out)
+    return 2 if out["status"] == "interrupted" else 0
+
+
+def _run_registry_problem(args, policy) -> int:
+    """``repro run --problem <name>`` for registry problems.
+
+    Any controllable problem (``repro problems`` marks them) runs under
+    the same fault-tolerant controller as the collapse workload.
+    """
+    from repro.validation import get_problem
+
+    try:
+        spec = get_problem(args.problem)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 1
+    if not spec.controllable:
+        print(f"problem {spec.name!r} does not support run control; "
+              f"use 'repro validate --problem {spec.name}' instead",
+              file=sys.stderr)
+        return 1
+    overrides = {}
+    if args.exec_backend is not None:
+        overrides["exec_backend"] = args.exec_backend
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    problem = spec.create(n=args.n, **overrides)
+    run_dir = args.dir or args.telemetry or f"runs/{spec.name}"
+    controller = problem.make_controller(run_dir, policy=policy)
+    t_end = (args.t_end if args.t_end is not None
+             else getattr(problem, "default_t_end", None))
+    if t_end is None:
+        print(f"problem {spec.name!r} needs --t-end", file=sys.stderr)
+        return 1
+    out = controller.run(float(t_end), max_root_steps=args.max_steps)
     _print_run_summary(out)
     return 2 if out["status"] == "interrupted" else 0
 
@@ -187,8 +281,22 @@ def cmd_resume(args) -> int:
         kwargs = dict(cfg["kwargs"])
         kwargs["advected"] = tuple(kwargs.get("advected", ()))
         kwargs.update(exec_overrides)
+        kwargs["solver_options"] = dict(kwargs.get("solver_options", {}))
         sim = Simulation(SimulationConfig(**kwargs))
         controller = sim.make_controller(args.dir, policy=policy)
+    elif cfg.get("problem"):
+        # registry problems (sedov, kelvin_helmholtz, ...) store their
+        # constructor kwargs; rebuild through the same factory
+        from repro.validation import get_problem
+
+        try:
+            spec = get_problem(cfg["problem"])
+        except KeyError:
+            print(f"checkpoint names unknown problem {cfg['problem']!r}",
+                  file=sys.stderr)
+            return 1
+        problem = spec.create(**{**cfg.get("kwargs", {}), **exec_overrides})
+        controller = problem.make_controller(args.dir, policy=policy)
     else:
         print("checkpoint carries no rebuildable problem config",
               file=sys.stderr)
@@ -414,15 +522,42 @@ def main(argv=None) -> int:
     p.add_argument("--checkpoint", default=None)
     p.set_defaults(fn=cmd_collapse)
 
+    p = sub.add_parser("problems", help="list registered problems")
+    p.set_defaults(fn=cmd_problems)
+
+    p = sub.add_parser(
+        "validate",
+        help="convergence harness: run a problem at several resolutions "
+             "and fit the L1/L2/Linf error orders (docs/VALIDATION.md)")
+    p.add_argument("--problem", default="shock_tube")
+    p.add_argument("-r", "--resolutions", type=int, nargs="+", default=None,
+                   help="grid sizes, ascending (default: the problem's)")
+    p.add_argument("--fields", default=None,
+                   help="comma-separated fields (default: the problem's)")
+    p.add_argument("--t-end", type=float, default=None)
+    p.add_argument("--out", default=None, help="write the report JSON here")
+    p.add_argument("--floor", type=float, default=None,
+                   help="exit nonzero unless every fitted L1 order "
+                        "reaches this")
+    p.set_defaults(fn=cmd_validate)
+
     p = sub.add_parser("inspect", help="summarise a checkpoint")
     p.add_argument("file")
     p.set_defaults(fn=cmd_inspect)
 
     p = sub.add_parser(
-        "run", help="primordial collapse under fault-tolerant run control")
-    p.add_argument("-n", type=int, default=8)
+        "run", help="a registered problem under fault-tolerant run control "
+                    "(default: primordial collapse)")
+    p.add_argument("--problem", default="collapse",
+                   help="registry name ('repro problems' lists them; "
+                        "needs the C flag)")
+    p.add_argument("-n", type=int, default=None,
+                   help="root-grid size (default: the problem's own)")
     p.add_argument("--levels", type=int, default=2)
     p.add_argument("--z-end", type=float, default=80.0)
+    p.add_argument("--t-end", type=float, default=None,
+                   help="stop time for non-collapse problems "
+                        "(default: the problem's own)")
     p.add_argument("--max-steps", type=int, default=None)
     p.add_argument("--no-chemistry", action="store_true")
     p.add_argument("--dir", default=None, help="run directory")

@@ -326,8 +326,12 @@ class DefenseLadder:
         old = grid.old_fields
         interior = grid.interior
         mass_before = None
+        scalar_before: dict[str, float] = {}
         if old is not None:
             mass_before = float(old["density"][interior].sum())
+            for name in grid.fields.advected:
+                if name in old:
+                    scalar_before[name] = float(old[name][interior].sum())
 
         repaired = 0
         for name, arr in grid.fields.array_items():
@@ -365,12 +369,24 @@ class DefenseLadder:
             mass_delta = (
                 float(grid.fields["density"][interior].sum()) - mass_before
             ) / mass_before
+        # same conservation accounting for every advected scalar: the worst
+        # relative drift across species (absolute drift when a species
+        # started the step with zero mass)
+        scalar_delta = 0.0
+        for name, before in scalar_before.items():
+            after = float(grid.fields[name][interior].sum())
+            drift = (after - before) / before if before else after
+            if abs(drift) > abs(scalar_delta):
+                scalar_delta = drift
+        stats = {
+            "repaired_cells": repaired,
+            "mass_delta": float(mass_delta),
+        }
+        if scalar_before:
+            stats["scalar_mass_delta"] = float(scalar_delta)
         return {
             "fluxes": fluxes,
-            "stats": {
-                "repaired_cells": repaired,
-                "mass_delta": float(mass_delta),
-            },
+            "stats": stats,
         }
 
     # ------------------------------------------------------------ chemistry

@@ -404,12 +404,16 @@ class HierarchyEvolver:
         destroyed = h.grids_destroyed - d0
         reused = h.grids_reused - r0
         total = created + reused
-        return {
+        out = {
             "created": created,
             "destroyed": destroyed,
             "reused": reused,
             "reuse_rate": round(reused / total, 6) if total else 0.0,
         }
+        flags = h.last_rebuild_stats.get("flags")
+        if flags:
+            out["flags"] = dict(flags)
+        return out
 
     # -------------------------------------------------------------- defense
     def _defend_hydro(self, g, task, dt, a, adot, accel, permute):

@@ -496,6 +496,7 @@ def rebuild_hierarchy(hierarchy, level: int, criteria, dm_density_fn=None,
                        int(max_dims))).encode()
     stats = {"level": level, "parents": 0, "parents_reused": 0,
              "created": 0, "reused": 0, "destroyed": 0}
+    flag_counts: dict[str, int] = {}
     new_signatures: dict[int, bytes] = {}
 
     # keep the old grids' data alive for copying while the tree is replaced;
@@ -545,6 +546,10 @@ def rebuild_hierarchy(hierarchy, level: int, criteria, dm_density_fn=None,
                     flags = criteria.flag_cells(
                         parent, dm_density_fn(parent) if dm_density_fn else None
                     )
+                    for crit, count in getattr(
+                        criteria, "last_flag_counts", {}
+                    ).items():
+                        flag_counts[crit] = flag_counts.get(crit, 0) + count
                     if buffer_cells > 0 and flags.any():
                         flags = binary_dilation(flags, iterations=buffer_cells)
                     sig = _flag_signature(flags, params_key)
@@ -659,6 +664,7 @@ def rebuild_hierarchy(hierarchy, level: int, criteria, dm_density_fn=None,
     hierarchy._flag_signatures.update(new_signatures)
     total = stats["created"] + stats["reused"]
     stats["reuse_rate"] = stats["reused"] / total if total else 0.0
+    stats["flags"] = flag_counts
     hierarchy.last_rebuild_stats = stats
 
 

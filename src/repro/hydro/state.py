@@ -26,6 +26,21 @@ META_KEY = "__advected__"
 
 VELOCITY_FIELDS = ("vx", "vy", "vz")
 
+#: name prefix for generic passive scalars (see :func:`scalar_names`)
+SCALAR_PREFIX = "scalar"
+
+
+def scalar_names(n: int) -> tuple[str, ...]:
+    """Canonical names for ``n`` passive scalars (``scalar00``, ...).
+
+    Passive scalars are ordinary advected fields: listing them under
+    ``__advected__`` routes them through PPM/ZEUS transport, flux
+    correction, projection and prolongation exactly like chemistry
+    species.  With ``n == 0`` (the default everywhere) no field is added
+    and runs remain bitwise identical to scalar-free builds.
+    """
+    return tuple(f"{SCALAR_PREFIX}{i:02d}" for i in range(int(n)))
+
 
 class FieldSet(dict):
     """dict of field-name -> ndarray with a list of advected scalar names.
@@ -109,10 +124,14 @@ def sync_internal_from_total(fields: FieldSet, eta: float = 1e-3,
     fields["energy"] = total_energy(fields)
 
 
-def fill_ghosts_periodic(fields: FieldSet, ng: int) -> None:
-    """Wrap-around ghost fill for standalone (non-AMR) unigrid use."""
+def fill_ghosts_periodic(fields: FieldSet, ng: int, axes=(0, 1, 2)) -> None:
+    """Wrap-around ghost fill for standalone (non-AMR) unigrid use.
+
+    ``axes`` restricts the fill so mixed boundaries compose, e.g. periodic
+    in x with outflow in y for the Rayleigh-Taylor box.
+    """
     for name, arr in fields.array_items():
-        for axis in range(arr.ndim):
+        for axis in axes:
             src_lo = [slice(None)] * arr.ndim
             src_hi = [slice(None)] * arr.ndim
             dst_lo = [slice(None)] * arr.ndim
@@ -141,6 +160,25 @@ def fill_ghosts_outflow(fields: FieldSet, ng: int, axes=(0, 1, 2)) -> None:
             dst_hi[axis] = slice(n - ng, n)
             arr[tuple(dst_lo)] = arr[tuple(edge_lo)]
             arr[tuple(dst_hi)] = arr[tuple(edge_hi)]
+
+
+def fill_ghosts_reflecting(fields: FieldSet, ng: int, axes=(0, 1, 2)) -> None:
+    """Mirror (solid-wall) ghost fill: scalars mirrored, normal v negated."""
+    normal_velocity = {0: "vx", 1: "vy", 2: "vz"}
+    for name, arr in fields.array_items():
+        for axis in axes:
+            n = arr.shape[axis]
+            src_lo = [slice(None)] * arr.ndim
+            src_lo[axis] = slice(2 * ng - 1, ng - 1, -1)
+            dst_lo = [slice(None)] * arr.ndim
+            dst_lo[axis] = slice(0, ng)
+            src_hi = [slice(None)] * arr.ndim
+            src_hi[axis] = slice(n - ng - 1, n - 2 * ng - 1, -1)
+            dst_hi = [slice(None)] * arr.ndim
+            dst_hi[axis] = slice(n - ng, n)
+            sign = -1.0 if name == normal_velocity[axis] else 1.0
+            arr[tuple(dst_lo)] = sign * arr[tuple(src_lo)]
+            arr[tuple(dst_hi)] = sign * arr[tuple(src_hi)]
 
 
 def mass_fractions(fields: FieldSet, names) -> dict[str, np.ndarray]:

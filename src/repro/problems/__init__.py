@@ -1,13 +1,24 @@
-"""Problem setups: the paper's primordial-collapse run and validation tests."""
+"""Problem setups: the paper's primordial-collapse run and validation tests.
+
+Every problem here is also registered by name in
+:mod:`repro.validation.registry` (``repro problems`` lists them); the
+measurable ones feed the convergence harness (docs/VALIDATION.md).
+"""
 
 from repro.problems.shock_tube import SodShockTube
 from repro.problems.zeldovich_pancake import ZeldovichPancake
 from repro.problems.sphere_collapse import SphereCollapse
 from repro.problems.collapse import PrimordialCollapse
+from repro.problems.sedov import SedovBlast
+from repro.problems.kelvin_helmholtz import KelvinHelmholtz
+from repro.problems.rayleigh_taylor import RayleighTaylor
 
 __all__ = [
     "SodShockTube",
     "ZeldovichPancake",
     "SphereCollapse",
     "PrimordialCollapse",
+    "SedovBlast",
+    "KelvinHelmholtz",
+    "RayleighTaylor",
 ]

@@ -23,12 +23,15 @@ class SodShockTube:
 
     def __init__(self, n: int = 128, gamma: float = 1.4,
                  left=(1.0, 0.0, 1.0), right=(0.125, 0.0, 0.1),
-                 nghost: int = 3):
+                 nghost: int = 3, characteristic_tracing: bool = True):
         self.n = int(n)
         self.gamma = float(gamma)
         self.left = left
         self.right = right
         self.ng = nghost
+        #: the full CW84 predictor roughly halves the Sod L1 error and is
+        #: what makes the measured convergence order reach ~1
+        self.characteristic_tracing = bool(characteristic_tracing)
         self.fields = self._build()
         self.time = 0.0
         self.steps = 0
@@ -50,7 +53,10 @@ class SodShockTube:
 
     def run(self, t_end: float = 0.2, solver=None, cfl: float = 0.4) -> dict:
         """Advance to ``t_end``; returns the numerical and exact profiles."""
-        solver = solver or PPMSolver(gamma=self.gamma)
+        solver = solver or PPMSolver(
+            gamma=self.gamma,
+            characteristic_tracing=self.characteristic_tracing,
+        )
         dx = 1.0 / self.n
         while self.time < t_end:
             fill_ghosts_outflow(self.fields, self.ng)
@@ -81,3 +87,20 @@ class SodShockTube:
         p = self.profiles()
         trim = self.n // 16
         return float(np.abs(p["density"] - p["density_exact"])[trim:-trim].mean())
+
+    # ---------------------------------------------- convergence protocol
+    def solution_fields(self) -> dict[str, np.ndarray]:
+        p = self.profiles()
+        return {
+            "density": p["density"].copy(),
+            "velocity": p["velocity"].copy(),
+            "pressure": p["pressure"].copy(),
+        }
+
+    def reference_fields(self) -> dict[str, np.ndarray]:
+        p = self.profiles()
+        return {
+            "density": p["density_exact"],
+            "velocity": p["velocity_exact"],
+            "pressure": p["pressure_exact"],
+        }

@@ -29,13 +29,26 @@ class SimulationConfig:
     max_level: int = 3
     refine_factor: int = 2
     solver: str = "ppm"  # or 'zeus'
+    #: extra keyword arguments for the solver constructor (e.g.
+    #: ``{"characteristic_tracing": True}``); empty leaves the solver
+    #: exactly as before
+    solver_options: dict = field(default_factory=dict)
     cfl: float = 0.4
     self_gravity: bool = False
     g_code: float = 1.0
     refine_overdensity: float | None = None
     refine_gas_mass: float | None = None
     jeans_number: float | None = None
+    #: flow-feature refinement (docs/VALIDATION.md): relative pressure-jump
+    #: threshold for shock detection and |curl v| dx / c_s for vorticity;
+    #: None disables each
+    refine_shock: float | None = None
+    refine_vorticity: float | None = None
     advected: tuple = ()
+    #: generic passive scalars: adds ``scalar00..`` to the advected list
+    #: (transported conservatively by both solvers, flux-corrected,
+    #: projected and prolonged); 0 leaves runs bitwise identical
+    n_scalars: int = 0
     max_grid_dims: int = 16
     #: execution backend for per-grid work ('serial' | 'thread' | 'process');
     #: None resolves from REPRO_EXEC_BACKEND / REPRO_WORKERS (see repro.exec)
@@ -70,12 +83,21 @@ class Simulation:
                  friedmann=None):
         self.config = config or SimulationConfig()
         c = self.config
+        advected = tuple(c.advected)
+        if c.n_scalars:
+            from repro.hydro.state import scalar_names
+
+            advected = advected + scalar_names(c.n_scalars)
         self.hierarchy = Hierarchy(
-            n_root=c.n_root, refine_factor=c.refine_factor, advected=c.advected
+            n_root=c.n_root, refine_factor=c.refine_factor, advected=advected
         )
         self.timers = ComponentTimers()
         self.stats = HierarchyStats()
-        solver = PPMSolver() if c.solver == "ppm" else ZeusSolver()
+        solver = (
+            PPMSolver(**c.solver_options)
+            if c.solver == "ppm"
+            else ZeusSolver(**c.solver_options)
+        )
         clock = (
             CosmologyClock(friedmann, units)
             if (friedmann is not None and units is not None)
@@ -89,12 +111,15 @@ class Simulation:
         self.criteria = None
         if any(
             v is not None
-            for v in (c.refine_overdensity, c.refine_gas_mass, c.jeans_number)
+            for v in (c.refine_overdensity, c.refine_gas_mass, c.jeans_number,
+                      c.refine_shock, c.refine_vorticity)
         ):
             self.criteria = RefinementCriteria(
                 gas_mass_threshold=c.refine_gas_mass,
                 jeans_number=c.jeans_number,
                 overdensity_threshold=c.refine_overdensity,
+                shock_threshold=c.refine_shock,
+                vorticity_threshold=c.refine_vorticity,
                 units=units,
                 max_level=c.max_level,
             )

@@ -1,0 +1,66 @@
+"""Validation & workload-library subsystem.
+
+Four layers (see ``docs/VALIDATION.md``):
+
+1. **Registry** (:mod:`repro.validation.registry`) — every Problem
+   discoverable by name; drives ``repro problems`` / ``repro run
+   --problem`` / ``repro validate``.
+2. **Analytic solutions** (:mod:`repro.validation.analytic`) —
+   Sedov-Taylor similarity solution, exact Riemann profiles, linear
+   KH/RT growth rates.
+3. **Error norms** (:mod:`repro.validation.norms`) — L1/L2/L-inf per
+   field against analytic or restricted richest-grid references.
+4. **Convergence harness** (:mod:`repro.validation.convergence`) — runs
+   a problem at 2-3 resolutions, fits the observed order, and emits a
+   machine-readable :class:`ValidationReport`.
+"""
+
+from repro.validation.analytic import (
+    SedovSolution,
+    kh_growth_rate,
+    riemann_profile,
+    rt_growth_rate,
+    sedov_solution,
+)
+from repro.validation.convergence import run_convergence
+from repro.validation.norms import (
+    error_norms,
+    field_error_norms,
+    fit_order,
+    pairwise_orders,
+    restrict,
+    restrict_fields,
+)
+from repro.validation.registry import (
+    ProblemSpec,
+    get_problem,
+    list_problems,
+    register,
+)
+from repro.validation.report import (
+    SCHEMA_VERSION,
+    ValidationReport,
+    validate_report,
+)
+
+__all__ = [
+    "SedovSolution",
+    "sedov_solution",
+    "riemann_profile",
+    "kh_growth_rate",
+    "rt_growth_rate",
+    "error_norms",
+    "field_error_norms",
+    "fit_order",
+    "pairwise_orders",
+    "restrict",
+    "restrict_fields",
+    "ProblemSpec",
+    "register",
+    "get_problem",
+    "list_problems",
+    "run_convergence",
+    "ValidationReport",
+    "validate_report",
+    "SCHEMA_VERSION",
+]

@@ -1,0 +1,116 @@
+"""Convergence harness: run a problem at 2-3 resolutions, fit the order.
+
+For problems with an analytic reference the error at each resolution is
+measured directly against it; otherwise the richest grid is the reference
+and coarser solutions are compared against its conservative restriction
+(self-convergence), which requires each resolution to divide the finest.
+
+The output is a :class:`repro.validation.report.ValidationReport` — the
+JSON artifact CI and ``BENCH_validation.json`` consume.
+"""
+
+from __future__ import annotations
+
+from repro.validation.norms import (
+    NORM_KEYS,
+    field_error_norms,
+    fit_order,
+    pairwise_orders,
+    restrict_fields,
+)
+from repro.validation.registry import ProblemSpec, get_problem
+from repro.validation.report import ValidationReport
+
+
+def run_convergence(problem, resolutions=None, fields=None, t_end=None,
+                    factory_kwargs=None, run_kwargs=None,
+                    relative: bool = False) -> ValidationReport:
+    """Run ``problem`` at each resolution and fit per-field orders.
+
+    ``problem`` is a registry name or a :class:`ProblemSpec`.  Returns a
+    fully-populated report; raises if the problem does not implement the
+    measurable protocol (``solution_fields``).
+    """
+    spec = problem if isinstance(problem, ProblemSpec) else get_problem(problem)
+    if not spec.measurable:
+        raise ValueError(
+            f"problem {spec.name!r} does not implement the convergence "
+            f"protocol (solution_fields/reference_fields)"
+        )
+    resolutions = sorted(int(n) for n in (resolutions or spec.default_resolutions))
+    if len(resolutions) < 2:
+        raise ValueError("need at least two resolutions to fit an order")
+    fields = list(fields or spec.convergence_fields)
+    kwargs = dict(spec.run_kwargs)
+    kwargs.update(run_kwargs or {})
+    if t_end is not None:
+        kwargs["t_end"] = float(t_end)
+
+    solutions: dict[int, dict] = {}
+    references: dict[int, dict | None] = {}
+    steps: dict[int, int] = {}
+    for n in resolutions:
+        prob = spec.create(n=n, **(factory_kwargs or {}))
+        prob.run(**kwargs)
+        solutions[n] = prob.solution_fields()
+        references[n] = prob.reference_fields() if spec.analytic else None
+        steps[n] = int(getattr(prob, "steps", 0))
+        t_measured = float(getattr(prob, "time", kwargs.get("t_end", 0.0)))
+
+    mode = "analytic" if spec.analytic else "self"
+    if mode == "self":
+        # richest grid is truth; it cannot be compared against itself, so
+        # it drops out of the fit
+        finest = resolutions[-1]
+        fit_resolutions = resolutions[:-1]
+        for n in fit_resolutions:
+            references[n] = restrict_fields(
+                {f: solutions[finest][f] for f in fields},
+                solutions[n][fields[0]].shape,
+            )
+    else:
+        fit_resolutions = resolutions
+
+    norms: dict[str, list] = {f: [] for f in fields}
+    for n in resolutions:
+        if references[n] is None:
+            # finest grid in self mode: reference by definition, zero error
+            for f in fields:
+                norms[f].append({"n": n, "l1": 0.0, "l2": 0.0, "linf": 0.0})
+            continue
+        per_field = field_error_norms(
+            solutions[n], references[n], fields=fields, relative=relative
+        )
+        for f in fields:
+            norms[f].append({"n": n, **per_field[f]})
+
+    orders: dict[str, dict] = {}
+    pairwise: dict[str, dict] = {}
+    for f in fields:
+        rows = [row for row in norms[f] if row["n"] in fit_resolutions]
+        ns = [row["n"] for row in rows]
+        orders[f] = {
+            key: round(fit_order(ns, [row[key] for row in rows]), 6)
+            for key in NORM_KEYS
+        }
+        pairwise[f] = {
+            key: [round(v, 6)
+                  for v in pairwise_orders(ns, [row[key] for row in rows])]
+            for key in NORM_KEYS
+        }
+
+    return ValidationReport(
+        problem=spec.name,
+        mode=mode,
+        fields=fields,
+        resolutions=resolutions,
+        t_end=float(kwargs.get("t_end", t_measured)),
+        norms=norms,
+        orders=orders,
+        pairwise_orders=pairwise,
+        meta={
+            "relative": bool(relative),
+            "steps": {str(n): steps[n] for n in resolutions},
+            "fit_resolutions": fit_resolutions,
+        },
+    )

@@ -1,0 +1,123 @@
+"""Error-norm engine: discrete L1/L2/L-inf distances between field arrays.
+
+Norms are volume-weighted cell averages (L1, L2) or maxima (L-inf) of the
+pointwise error, so values are resolution-comparable — halving dx does not
+change the norm of the same smooth error function.  Arrays may be 1-d
+(shock-tube profiles) or 3-d (blast waves); both inputs must share a shape.
+
+:func:`restrict` block-averages a fine solution onto a coarser grid of the
+same physical domain — the conservative restriction the self-convergence
+mode uses when no analytic reference exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+NORM_KEYS = ("l1", "l2", "linf")
+
+
+def error_norms(numeric: np.ndarray, reference: np.ndarray,
+                relative: bool = False) -> dict[str, float]:
+    """All three norms of ``numeric - reference`` as a plain dict.
+
+    With ``relative=True`` the error is scaled by the mean |reference|
+    (a single global scale, so the norm stays linear in the error).
+    """
+    a = np.asarray(numeric, dtype=float)
+    b = np.asarray(reference, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    err = np.abs(a - b)
+    if relative:
+        scale = float(np.abs(b).mean())
+        if scale > 0.0:
+            err = err / scale
+    return {
+        "l1": float(err.mean()),
+        "l2": float(np.sqrt(np.mean(err**2))),
+        "linf": float(err.max()),
+    }
+
+
+def field_error_norms(numeric: dict, reference: dict,
+                      fields=None, relative: bool = False) -> dict[str, dict]:
+    """Per-field norms for two ``{name: array}`` dicts.
+
+    ``fields`` restricts the comparison; by default every field present in
+    *both* dicts is measured.
+    """
+    if fields is None:
+        fields = [k for k in numeric if k in reference]
+    out = {}
+    for name in fields:
+        if name not in numeric:
+            raise KeyError(f"numeric solution missing field {name!r}")
+        if name not in reference:
+            raise KeyError(f"reference solution missing field {name!r}")
+        out[name] = error_norms(numeric[name], reference[name], relative=relative)
+    return out
+
+
+def restrict(fine: np.ndarray, coarse_shape) -> np.ndarray:
+    """Conservative block-average of ``fine`` down to ``coarse_shape``.
+
+    Every fine dimension must be an integer multiple of the matching coarse
+    dimension (the multiple may differ per axis, so a thin shock-tube box
+    restricts along x only).
+    """
+    fine = np.asarray(fine, dtype=float)
+    coarse_shape = tuple(int(n) for n in coarse_shape)
+    if fine.ndim != len(coarse_shape):
+        raise ValueError(
+            f"rank mismatch: fine is {fine.ndim}-d, coarse shape {coarse_shape}"
+        )
+    out = fine
+    for axis, nc in enumerate(coarse_shape):
+        nf = out.shape[axis]
+        if nf % nc:
+            raise ValueError(
+                f"axis {axis}: fine size {nf} not a multiple of coarse {nc}"
+            )
+        factor = nf // nc
+        if factor == 1:
+            continue
+        new_shape = (
+            out.shape[:axis] + (nc, factor) + out.shape[axis + 1:]
+        )
+        out = out.reshape(new_shape).mean(axis=axis + 1)
+    return out
+
+
+def restrict_fields(fine: dict, coarse_shape) -> dict:
+    """Apply :func:`restrict` to every array in a field dict."""
+    return {name: restrict(arr, coarse_shape) for name, arr in fine.items()}
+
+
+def fit_order(resolutions, errors) -> float:
+    """Least-squares convergence order from log(error) vs log(1/n).
+
+    Positive means the error shrinks as resolution grows.  Degenerate
+    inputs (zero/non-finite errors) yield 0.0 rather than raising, so a
+    perfectly-converged field does not crash the harness.
+    """
+    n = np.asarray(resolutions, dtype=float)
+    e = np.asarray(errors, dtype=float)
+    good = np.isfinite(e) & (e > 0.0)
+    if int(good.sum()) < 2:
+        return 0.0
+    slope = np.polyfit(np.log(n[good]), np.log(e[good]), 1)[0]
+    return float(-slope)
+
+
+def pairwise_orders(resolutions, errors) -> list[float]:
+    """Order between each adjacent resolution pair (len = len(res) - 1)."""
+    out = []
+    for i in range(len(resolutions) - 1):
+        n0, n1 = float(resolutions[i]), float(resolutions[i + 1])
+        e0, e1 = float(errors[i]), float(errors[i + 1])
+        if e0 > 0.0 and e1 > 0.0 and np.isfinite(e0) and np.isfinite(e1):
+            out.append(float(np.log(e0 / e1) / np.log(n1 / n0)))
+        else:
+            out.append(0.0)
+    return out

@@ -403,7 +403,8 @@ class TestEvolverIntegration:
         sim.evolver.advance_root_step(t_end)
         snap = sim.evolver.rebuild_step_stats()
         assert snap is not None
-        assert set(snap) == {"created", "destroyed", "reused", "reuse_rate"}
+        assert set(snap) == {"created", "destroyed", "reused", "reuse_rate",
+                             "flags"}
         record = step_record(sim.evolver, 1, 0.01)
         assert record["rebuild"] == snap
         # steady state: later steps should mostly reuse

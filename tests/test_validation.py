@@ -1,0 +1,252 @@
+"""Validation subsystem: registry, analytic solutions, norms, harness,
+report schema, and the ``problems`` / ``validate`` CLI entry points.
+
+The analytic checks pin the Sedov similarity solution against published
+constants (beta = 1.1517 for gamma = 5/3, 1.0328 for 1.4) and its own
+internal invariants (energy closure, Rankine-Hugoniot jumps), so the
+convergence floors downstream rest on a reference that is itself tested.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.validation import (
+    ProblemSpec,
+    ValidationReport,
+    error_norms,
+    fit_order,
+    get_problem,
+    kh_growth_rate,
+    list_problems,
+    pairwise_orders,
+    restrict,
+    riemann_profile,
+    rt_growth_rate,
+    run_convergence,
+    sedov_solution,
+    validate_report,
+)
+
+
+# ---------------------------------------------------------------- registry
+class TestRegistry:
+    def test_builtin_problems_present(self):
+        names = {spec.name for spec in list_problems()}
+        assert {"collapse", "shock_tube", "sphere_collapse",
+                "zeldovich_pancake", "sedov", "kelvin_helmholtz",
+                "rayleigh_taylor"} <= names
+
+    @pytest.mark.parametrize("alias,name", [
+        ("sod", "shock_tube"), ("kh", "kelvin_helmholtz"),
+        ("blast", "sedov"), ("rt", "rayleigh_taylor"),
+        ("Sedov-Taylor", "sedov"),  # case + dash normalisation
+    ])
+    def test_aliases_resolve(self, alias, name):
+        assert get_problem(alias).name == name
+
+    def test_unknown_problem_lists_known(self):
+        with pytest.raises(KeyError, match="shock_tube"):
+            get_problem("nonesuch")
+
+    def test_create_honours_size_arg(self):
+        sod = get_problem("sod").create(n=32)
+        assert sod.n == 32
+        sedov = get_problem("sedov").create(n=8)
+        assert sedov.n == 8  # size_arg routes to n_root
+
+    def test_measurable_flags_match_protocol(self):
+        for spec in list_problems():
+            if spec.measurable and spec.name != "collapse":
+                cls = spec.factory
+                assert hasattr(cls, "solution_fields"), spec.name
+                assert hasattr(cls, "reference_fields"), spec.name
+
+
+# ------------------------------------------------------- analytic solutions
+class TestSedovSolution:
+    def test_beta_matches_literature(self):
+        # Sedov's alpha-integral constants, e.g. Kamm & Timmes (2007)
+        assert sedov_solution(0.05, gamma=5.0 / 3.0).beta == pytest.approx(
+            1.15167, abs=2e-4)
+        assert sedov_solution(0.05, gamma=1.4).beta == pytest.approx(
+            1.03280, abs=2e-4)
+
+    def test_energy_closure(self):
+        # integrating the profile's kinetic + thermal energy recovers E
+        sol = sedov_solution(0.03, energy=2.0, rho0=1.5)
+        assert sol.total_energy() == pytest.approx(2.0, rel=1e-4)
+
+    def test_shock_jump_conditions(self):
+        gamma = 5.0 / 3.0
+        sol = sedov_solution(0.05, gamma=gamma)
+        # strong-shock Rankine-Hugoniot values just behind the front
+        assert sol.density[-1] == pytest.approx(
+            (gamma + 1.0) / (gamma - 1.0), rel=1e-6)
+        us = 2.0 * sol.r_shock / (5.0 * 0.05)
+        assert sol.velocity[-1] == pytest.approx(
+            2.0 * us / (gamma + 1.0), rel=1e-6)
+        assert sol.pressure[-1] == pytest.approx(
+            2.0 * us**2 / (gamma + 1.0), rel=1e-6)
+
+    def test_shock_radius_scaling(self):
+        # R(t) = beta (E t^2 / rho0)^{1/5}
+        r1 = sedov_solution(0.01).r_shock
+        r2 = sedov_solution(0.01 * 32).r_shock
+        assert r2 / r1 == pytest.approx(32 ** 0.4, rel=1e-12)
+
+    def test_profiles_monotone_and_sampling(self):
+        sol = sedov_solution(0.05)
+        assert np.all(np.diff(sol.r) > 0)
+        sampled = sol.sample(np.array([0.0, sol.r_shock * 2.0]))
+        assert sampled["density"][1] == pytest.approx(1.0)  # ambient
+        assert sampled["density"][0] < 1e-2  # evacuated centre
+
+    def test_gamma_guard(self):
+        with pytest.raises(ValueError):
+            sedov_solution(0.05, gamma=2.0)
+
+
+class TestOtherAnalytic:
+    def test_riemann_profile_matches_states(self):
+        x = np.linspace(0.0, 1.0, 64)
+        prof = riemann_profile(
+            (1.0, 0.0, 1.0), (0.125, 0.0, 0.1), 1.4, x, t=0.1)
+        assert prof["density"][0] == pytest.approx(1.0)
+        assert prof["density"][-1] == pytest.approx(0.125)
+        assert prof["velocity"].max() > 0.5  # contact region is moving
+        # t = 0 degenerates to the initial discontinuity
+        prof0 = riemann_profile(
+            (1.0, 0.0, 1.0), (0.125, 0.0, 0.1), 1.4, x, t=0.0)
+        assert set(np.unique(prof0["density"])) == {1.0, 0.125}
+
+    def test_kh_growth_rate(self):
+        # equal densities: sigma = k |du| / 2
+        assert kh_growth_rate(2.0, 1.0, 1.0, 1.0, -1.0) == pytest.approx(2.0)
+
+    def test_rt_growth_rate(self):
+        # sigma = sqrt(A g k), A = 1/3 here
+        assert rt_growth_rate(3.0, 2.0, 1.0, 1.0) == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------- norms & fitting
+class TestNorms:
+    def test_error_norms_units(self):
+        err = error_norms(np.array([1.0, 2.0, 3.0]), np.array([0.0, 0.0, 0.0]))
+        assert err["l1"] == pytest.approx(2.0)
+        assert err["l2"] == pytest.approx(np.sqrt(14.0 / 3.0))
+        assert err["linf"] == pytest.approx(3.0)
+
+    def test_restrict_block_average(self):
+        fine = np.arange(8.0).reshape(4, 2)
+        coarse = restrict(fine, (2, 1))
+        # conservative mean over 2x2 blocks
+        np.testing.assert_allclose(coarse, [[1.5], [5.5]])
+
+    def test_restrict_rejects_non_integer_factor(self):
+        with pytest.raises(ValueError):
+            restrict(np.zeros((6, 6)), (4, 6))
+
+    def test_fit_order_recovers_slope(self):
+        ns = [16, 32, 64]
+        errs = [1.0 / n**2 for n in ns]
+        assert fit_order(ns, errs) == pytest.approx(2.0, abs=1e-12)
+        assert pairwise_orders(ns, errs) == pytest.approx([2.0, 2.0])
+
+    def test_fit_order_degenerate_is_zero(self):
+        assert fit_order([16, 32], [0.0, 0.0]) == 0.0
+
+
+# ----------------------------------------------------------------- harness
+class TestConvergenceHarness:
+    def test_shock_tube_analytic_mode(self):
+        report = run_convergence("shock_tube", resolutions=(32, 64),
+                                 t_end=0.1)
+        assert report.mode == "analytic"
+        assert report.resolutions == [32, 64]
+        assert report.order("density") > 0.8
+        assert report.meta["steps"]["64"] > report.meta["steps"]["32"]
+        # norms strictly decrease with resolution
+        rows = report.norms["density"]
+        assert rows[1]["l1"] < rows[0]["l1"]
+
+    def test_self_convergence_mode(self):
+        report = run_convergence(
+            "kelvin_helmholtz", resolutions=(8, 16, 32),
+            t_end=0.05, fields=("density",),
+        )
+        assert report.mode == "self"
+        # the finest grid is the reference: zero error, out of the fit
+        assert report.norms["density"][-1]["l1"] == 0.0
+        assert report.meta["fit_resolutions"] == [8, 16]
+        assert report.norms["density"][0]["l1"] > 0.0
+
+    def test_non_measurable_problem_rejected(self):
+        with pytest.raises(ValueError, match="convergence"):
+            run_convergence("sphere_collapse")
+
+    def test_needs_two_resolutions(self):
+        with pytest.raises(ValueError, match="two resolutions"):
+            run_convergence("shock_tube", resolutions=(64,))
+
+
+# ------------------------------------------------------------------ report
+class TestValidationReport:
+    def _report(self) -> ValidationReport:
+        return run_convergence("shock_tube", resolutions=(32, 64), t_end=0.1)
+
+    def test_json_round_trip(self, tmp_path):
+        report = self._report()
+        path = str(tmp_path / "report.json")
+        report.save(path)
+        loaded = ValidationReport.load(path)
+        assert loaded.to_dict() == report.to_dict()
+        assert loaded.order("density") == report.order("density")
+
+    def test_validator_accepts_real_report(self):
+        validate_report(json.loads(self._report().to_json()))
+
+    @pytest.mark.parametrize("mutate,match", [
+        (lambda d: d.pop("norms"), "norms"),
+        (lambda d: d.update(mode="psychic"), "mode"),
+        (lambda d: d.update(resolutions=[64, 32]), "ascending"),
+        (lambda d: d["norms"]["density"].pop(), "row"),
+        (lambda d: d.update(resolutions=[32]), "resolutions"),
+    ])
+    def test_validator_rejects_corruption(self, mutate, match):
+        d = json.loads(self._report().to_json())
+        mutate(d)
+        with pytest.raises(ValueError, match=match):
+            validate_report(d)
+
+
+# --------------------------------------------------------------------- CLI
+class TestValidationCLI:
+    def test_problems_lists_registry(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["problems"]) == 0
+        out = capsys.readouterr().out
+        assert "sedov" in out and "MAC" in out
+        assert "kelvin_helmholtz" in out
+
+    def test_validate_floor_pass_and_report(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        out_path = str(tmp_path / "val.json")
+        rc = main(["validate", "--problem", "shock_tube",
+                   "-r", "32", "64", "--t-end", "0.1",
+                   "--fields", "density",
+                   "--floor", "0.8", "--out", out_path])
+        assert rc == 0
+        validate_report(json.load(open(out_path)))
+        assert "order" in capsys.readouterr().out
+
+    def test_validate_floor_fail_exits_nonzero(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["validate", "--problem", "shock_tube",
+                   "-r", "32", "64", "--t-end", "0.1",
+                   "--fields", "density", "--floor", "10.0"])
+        assert rc == 1
