@@ -178,6 +178,20 @@ def _collapse_problem(**kwargs):
     return PrimordialCollapse(timers=ComponentTimers(), **kwargs)
 
 
+def _set_kernels(args) -> None:
+    """Apply the ``--kernels`` backend choice before any physics runs.
+
+    Goes through :func:`repro.kernels.set_backend` with env export, so
+    process-pool workers spawned later inherit the same tier.  An
+    unavailable compiled backend degrades to numpy with a warning rather
+    than failing the run.
+    """
+    if getattr(args, "kernels", None):
+        from repro import kernels
+
+        kernels.set_backend(args.kernels)
+
+
 def _install_faults(args) -> None:
     """Install the chaos-testing fault injector requested on the CLI.
 
@@ -196,6 +210,7 @@ def _install_faults(args) -> None:
 def cmd_run(args) -> int:
     from repro.runtime import CheckpointPolicy
 
+    _set_kernels(args)
     _install_faults(args)
     policy = CheckpointPolicy(every_steps=args.checkpoint_every,
                               keep_last=args.keep_last)
@@ -255,6 +270,7 @@ def _run_registry_problem(args, policy) -> int:
 def cmd_resume(args) -> int:
     from repro.runtime import CheckpointPolicy, RunState
 
+    _set_kernels(args)
     _install_faults(args)
     latest = CheckpointPolicy.latest(args.dir)
     if latest is None:
@@ -578,6 +594,11 @@ def main(argv=None) -> int:
     p.add_argument("--workers", type=int, default=None,
                    help="worker count for parallel backends "
                         "(default: REPRO_WORKERS or CPU count)")
+    p.add_argument("--kernels", default=None,
+                   choices=["numpy", "numba", "cffi", "auto"],
+                   help="inner-loop kernel tier (default: REPRO_KERNELS or "
+                        "numpy; results are backend-independent, see "
+                        "docs/PERFORMANCE.md)")
     p.add_argument("--faults", default=None,
                    help="chaos-test fault spec, e.g. "
                         "'nan_cell:level=1,grid=3,count=2;mg_diverge:level=1' "
@@ -601,6 +622,10 @@ def main(argv=None) -> int:
                         "(results are backend-independent)")
     p.add_argument("--workers", type=int, default=None,
                    help="override the worker count for the resumed run")
+    p.add_argument("--kernels", default=None,
+                   choices=["numpy", "numba", "cffi", "auto"],
+                   help="override the kernel tier for the resumed run "
+                        "(results are backend-independent)")
     p.add_argument("--faults", default=None,
                    help="chaos-test fault spec (same syntax as REPRO_FAULTS)")
     p.add_argument("--fault-seed", type=int, default=None,

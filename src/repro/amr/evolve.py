@@ -37,6 +37,7 @@ from repro.amr.rebuild import rebuild_hierarchy
 from repro.chemistry.network import ChemistryStepStats
 from repro.exec import ChemistryTask, ExecutionEngine, GravityAccelTask, HydroTask
 from repro.hydro.timestep import accel_timestep, expansion_timestep, hydro_timestep, particle_timestep
+from repro.kernels import dispatch as kernel_dispatch
 from repro.nbody.cic import cic_deposit
 from repro.precision.doubledouble import DoubleDouble
 from repro.runtime.faults import active as _active_faults
@@ -227,7 +228,15 @@ class HierarchyEvolver:
     # -------------------------------------------------------------- evolve
     def advance_to(self, stop_time: float) -> None:
         """Top-level driver: evolve the whole hierarchy to stop_time."""
-        self.evolve_level(0, DoubleDouble(stop_time))
+        self._kernel_mark = kernel_dispatch.counters_totals()
+        try:
+            self.evolve_level(0, DoubleDouble(stop_time))
+        finally:
+            # library drivers (run_to_redshift etc.) come through here
+            # rather than advance_root_step; close out kernel accounting
+            # so the "kernels" timer section and last_kernel_stats stay
+            # populated on both entry points
+            self._finish_kernel_stats()
 
     def advance_root_step(self, stop_time) -> float | None:
         """Take exactly one root-level step toward ``stop_time``.
@@ -250,10 +259,32 @@ class HierarchyEvolver:
         self._rebuild_counters0 = (h.grids_created, h.grids_destroyed,
                                    h.grids_reused)
         self.chem_stats.reset()
+        self._kernel_mark = kernel_dispatch.counters_totals()
         if self.defense is not None:
             self.defense.begin_root_step()
         self._timed("boundary", set_boundary_values, h, 0)
-        return self._step_level(0, target)
+        dt = self._step_level(0, target)
+        self._finish_kernel_stats()
+        return dt
+
+    def _finish_kernel_stats(self) -> None:
+        """Close out one root step's kernel-tier accounting.
+
+        Folds the per-kernel call/time deltas (including worker-process
+        activity merged in by the exec engine) into the ``"kernels"`` timer
+        section and stashes them for the telemetry step record.
+        """
+        delta = kernel_dispatch.counters_delta(
+            getattr(self, "_kernel_mark", {})
+        )
+        self.last_kernel_stats = {
+            "backend": kernel_dispatch.active_backend(),
+            "per_kernel": delta,
+        }
+        if self.timers is not None and delta:
+            seconds = sum(d["seconds"] for d in delta.values())
+            calls = sum(d["calls"] for d in delta.values())
+            self.timers.add_seconds("kernels", seconds, count=calls)
 
     def evolve_level(self, level: int, parent_time) -> None:
         h = self.hierarchy

@@ -42,6 +42,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.chemistry import cooling as _cooling
+from repro.kernels import dispatch as _kernels
 
 #: validity range of the analytic fits; inputs are clipped into it (and
 #: the tabulated grid spans exactly this range).
@@ -399,6 +400,39 @@ def _all_channel_funcs() -> dict:
     return funcs
 
 
+def _index_weight(T_flat: np.ndarray, x0: float, h: float, n_bins: int):
+    """Shared bin index + blend weight for a uniform log-T grid.
+
+    Factored out of the blend so every kernel backend consumes identical
+    indices/weights — the backends then only differ in who performs the
+    gather + lerp.
+    """
+    u = (np.log(T_flat) - x0) / h
+    i = u.astype(np.intp)
+    np.clip(i, 0, n_bins - 2, out=i)
+    w = u - i
+    return i, w
+
+
+def blend_table_numpy(logtab: np.ndarray, idx: np.ndarray,
+                      weight: np.ndarray) -> np.ndarray:
+    """Reference gather + lerp + exp over the channel-major log table.
+
+    This is the ``chem.blend`` entry of the NumPy kernel backend; compiled
+    backends replace the gather/lerp loop but keep the same trailing
+    ``np.exp`` so the tier stays bitwise-identical (SIMD vs libm ``exp``
+    differ in the last ulp).
+    """
+    lo = np.take(logtab, idx, axis=1)
+    out = np.take(logtab, idx + 1, axis=1)
+    # out = exp(lo + w * (out - lo)), fused in place
+    out -= lo
+    out *= weight
+    out += lo
+    np.exp(out, out=out)
+    return out
+
+
 class _LogTable:
     """ln(coefficient) of every channel on a uniform log-T grid.
 
@@ -437,18 +471,8 @@ class _LogTable:
 
     def _blend(self, T_flat: np.ndarray) -> np.ndarray:
         """Interpolated coefficients, shape (n_channels, T_flat.size)."""
-        u = (np.log(T_flat) - self.x0) / self.h
-        i = u.astype(np.intp)
-        np.clip(i, 0, self.n_bins - 2, out=i)
-        w = u - i
-        lo = np.take(self.logtab, i, axis=1)
-        out = np.take(self.logtab, i + 1, axis=1)
-        # out = exp(lo + w * (out - lo)), fused in place
-        out -= lo
-        out *= w
-        out += lo
-        np.exp(out, out=out)
-        return out
+        i, w = _index_weight(T_flat, self.x0, self.h, self.n_bins)
+        return _kernels.get("chem.blend")(self.logtab, i, w)
 
     def lookup(self, T) -> dict:
         T = np.asarray(T, dtype=float)

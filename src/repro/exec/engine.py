@@ -46,6 +46,7 @@ from repro.exec import shm as shm_codec
 from repro.exec.calibration import WorkCalibrator
 from repro.exec.config import ExecConfig
 from repro.exec.kernels import run_packed_task
+from repro.kernels import dispatch as kernel_dispatch
 from repro.parallel.distribution import balance_grids, grid_work
 
 #: outstanding shared-memory tasks per worker before the dispatcher blocks
@@ -66,8 +67,25 @@ def _run_task(task) -> None:
 _POOLS: dict = {}
 
 
+def _worker_init(kernel_backend: str) -> None:
+    """Process-pool initializer: select + warm the kernel backend once per
+    worker, so an njit/cffi compile never lands inside a task timing."""
+    kernel_dispatch.set_backend(kernel_backend, env=False)
+    kernel_dispatch.warm()
+
+
+def _process_pool_key(workers: int) -> tuple:
+    # keyed by kernel backend too: switching tiers mid-process must not
+    # reuse workers warmed (and pinned) on the old backend
+    return ("process", workers, kernel_dispatch.active_backend())
+
+
 def _get_pool(backend: str, workers: int):
-    key = (backend, workers)
+    key = (
+        _process_pool_key(workers)
+        if backend == "process"
+        else (backend, workers)
+    )
     pool = _POOLS.get(key)
     if pool is None:
         if backend == "thread":
@@ -80,7 +98,12 @@ def _get_pool(backend: str, workers: int):
                 if "fork" in mp.get_all_start_methods()
                 else None
             )
-            pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=ctx,
+                initializer=_worker_init,
+                initargs=(key[2],),
+            )
         _POOLS[key] = pool
     return pool
 
@@ -349,7 +372,7 @@ class ExecutionEngine:
                 self._process_pass(pending, report)
                 return
             except BrokenProcessPool:
-                _POOLS.pop(("process", self.config.workers), None)
+                _POOLS.pop(_process_pool_key(self.config.workers), None)
                 pending = [t for t in pending if not getattr(t, "done", True)]
                 if attempt == 1 or not pending:
                     raise
@@ -381,6 +404,8 @@ class ExecutionEngine:
             task.done = True
             shm_codec.release(block, unlink=True)
             report.record(task, out["seconds"], out["pid"])
+            # fold worker-side kernel activity into this process's counters
+            kernel_dispatch.merge_counters(out.get("kernel_counters"))
 
         try:
             for task in tasks:

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.exec import shm as shm_codec
 from repro.hydro.state import FieldSet, META_KEY
+from repro.kernels import dispatch as kernel_dispatch
 from repro.runtime.faults import InjectedFaultError
 
 
@@ -109,6 +110,7 @@ def run_packed_task(kernel: str, shm_name: str, layout, meta: dict) -> dict:
         # injected worker death: indistinguishable from the OOM killer
         os.kill(os.getpid(), signal.SIGKILL)
     t0 = perf_counter()
+    kernel_mark = kernel_dispatch.counters_totals()
     block, views = shm_codec.attach(shm_name, layout)
     error = None
     ret = None
@@ -127,4 +129,7 @@ def run_packed_task(kernel: str, shm_name: str, layout, meta: dict) -> dict:
         del views
         block.close()
     return {"pid": os.getpid(), "seconds": perf_counter() - t0, "ret": ret,
-            "error": error}
+            "error": error,
+            # per-kernel call/time deltas, merged into the parent's
+            # counters by the dispatcher so telemetry sees worker activity
+            "kernel_counters": kernel_dispatch.counters_delta(kernel_mark)}

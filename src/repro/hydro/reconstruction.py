@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import dispatch as _kernels
+
 
 def _minmod(a, b):
     return np.where(a * b > 0.0, np.where(np.abs(a) < np.abs(b), a, b), 0.0)
@@ -161,11 +163,15 @@ def apply_flattening(q_l: np.ndarray, q_r: np.ndarray, q: np.ndarray,
 
 
 def reconstruct(q: np.ndarray, method: str = "ppm"):
-    """Dispatch by name ('ppm', 'plm' or first-order 'flat')."""
+    """Dispatch by name ('ppm', 'plm' or first-order 'flat').
+
+    PPM/PLM go through the active kernel backend (see repro.kernels);
+    donor-cell is two array copies and stays inline.
+    """
     if method == "ppm":
-        return ppm_reconstruct(q)
+        return _kernels.get("reconstruct.ppm")(q)
     if method == "plm":
-        return plm_reconstruct(q)
+        return _kernels.get("reconstruct.plm")(q)
     if method == "flat":
         return flat_reconstruct(q)
     raise ValueError(f"unknown reconstruction '{method}'")

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hydro.reconstruction import ppm_reconstruct
+from repro.kernels import dispatch as _kernels
 
 
 def _parabola(q):
@@ -62,7 +63,15 @@ def trace_interface_states(rho, u, v, w, p, dtdx, gamma):
     adiabatic index.  Returns ``(states_l, states_r)`` — tuples of
     (rho, u, v, w, p) face arrays of length n-1, ready for the Riemann
     solver (same contract as :func:`repro.hydro.reconstruction.reconstruct`).
+
+    Runs on the active kernel backend; :func:`trace_states_numpy` below is
+    the vectorised reference implementation.
     """
+    return _kernels.get("trace.states")(rho, u, v, w, p, dtdx, gamma)
+
+
+def trace_states_numpy(rho, u, v, w, p, dtdx, gamma):
+    """Vectorised reference implementation (the ``numpy`` backend entry)."""
     c = np.sqrt(gamma * np.maximum(p, 1e-300) / np.maximum(rho, 1e-300))
     lam_m = u - c
     lam_0 = u

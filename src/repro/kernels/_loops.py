@@ -1,0 +1,554 @@
+"""Flat-loop kernel bodies: the compiled tier's source of truth.
+
+Each function here is a straight per-element transcription of the
+vectorised NumPy reference (``hydro/riemann.py``, ``hydro/reconstruction.py``,
+``hydro/tracing.py``, ``chemistry/rates.py``) written in the restricted
+style numba's ``@njit`` accepts: flat ``for`` loops over preallocated
+output arrays, scalar math only, no dicts/closures.  The functions are
+plain Python — importable and testable without numba — and are consumed
+two ways:
+
+* :mod:`repro.kernels.backend_numba` wraps them with ``njit`` verbatim;
+* :mod:`repro.kernels.backend_cffi` mirrors them line-for-line in C.
+
+Bitwise-parity rules (why the bodies look pedantic):
+
+* op order and association match the NumPy expressions exactly —
+  e.g. ``0.5 * (u_l - A + u_r + B)`` stays left-associated;
+* ``_nmax``/``_nmin`` replicate ``np.maximum``/``np.minimum`` NaN
+  propagation; bare ``max()``/``min()`` would not;
+* every ``np.where(cond, a, b)`` becomes a branch whose *condition*
+  evaluates identically for NaN (NaN comparisons are false both ways);
+* multiplications by literal ``0.0``/``1.0`` from the characteristic
+  eigenvectors are kept, because ``inf * 0.0`` must still produce NaN;
+* ``math.sqrt``/division are IEEE-754 correctly rounded, so looping them
+  is bit-identical to the ufunc (``exp`` is *not* — which is why the
+  chemistry kernel stops at the linear blend and the caller keeps
+  ``np.exp``).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _nmax(a, b):
+    """``np.maximum`` semantics: NaN in either operand propagates."""
+    if a != a:
+        return a
+    if b != b:
+        return b
+    return a if a > b else b
+
+
+def _nmin(a, b):
+    """``np.minimum`` semantics: NaN in either operand propagates."""
+    if a != a:
+        return a
+    if b != b:
+        return b
+    return a if a < b else b
+
+
+def _minmod(a, b):
+    # np.where(a * b > 0, where(|a| < |b|, a, b), 0.0); NaN product -> 0.0
+    if a * b > 0.0:
+        return a if abs(a) < abs(b) else b
+    return 0.0
+
+
+def _mc(dq_minus, dq_plus):
+    dq_c = 0.5 * (dq_minus + dq_plus)
+    lim = _minmod(2.0 * dq_minus, 2.0 * dq_plus)
+    return _minmod(dq_c, lim)
+
+
+# --------------------------------------------------------------------------
+# Riemann solvers — all signatures take flattened face arrays plus the five
+# preallocated flux component outputs.
+# --------------------------------------------------------------------------
+
+
+def two_shock(rho_l, u_l, v_l, w_l, p_l, rho_r, u_r, v_r, w_r, p_r,
+              gamma, iterations, rtol, f0, f1, f2, f3, f4):
+    """Two-shock flux with residual early exit (see riemann.two_shock_flux).
+
+    At ``rtol == 0`` the exit fires only when the Newton update is an exact
+    fixed point (``p_new == p_star``), making the early exit bitwise
+    equivalent to running all ``iterations`` — a converged face re-derives
+    the same ``p_star`` forever.  Positive ``rtol`` exits on
+    ``|dp| <= rtol * p_star`` (documented as non-bitwise, opt-in);
+    negative ``rtol`` disables the exit (fixed-count reference mode).
+    """
+    gp = 0.5 * (gamma + 1.0)
+    gm = 0.5 * (gamma - 1.0)
+    n = rho_l.shape[0]
+    for i in range(n):
+        rl = rho_l[i]
+        ul = u_l[i]
+        pl = p_l[i]
+        rr = rho_r[i]
+        ur = u_r[i]
+        pr = p_r[i]
+
+        p_star = _nmax(0.5 * (pl + pr), 1e-300)
+        for _ in range(iterations):
+            w_lft = math.sqrt(rl * (gp * p_star + gm * pl))
+            w_rgt = math.sqrt(rr * (gp * p_star + gm * pr))
+            us_l = ul - (p_star - pl) / w_lft
+            us_r = ur + (p_star - pr) / w_rgt
+            dp = (us_l - us_r) * (w_lft * w_rgt) / (w_lft + w_rgt)
+            p_new = _nmax(p_star + dp, 1e-300)
+            if rtol > 0.0:
+                p_star = p_new
+                if abs(dp) <= rtol * p_star:
+                    break
+            elif rtol == 0.0:
+                if p_new == p_star:
+                    break
+                p_star = p_new
+            else:  # rtol < 0: no early exit (fixed-count reference loop)
+                p_star = p_new
+        w_lft = math.sqrt(rl * (gp * p_star + gm * pl))
+        w_rgt = math.sqrt(rr * (gp * p_star + gm * pr))
+        u_star = 0.5 * (ul - (p_star - pl) / w_lft + ur + (p_star - pr) / w_rgt)
+
+        rho_sl = rl / (1.0 - rl * (p_star - pl) / _nmax(w_lft * w_lft, 1e-300))
+        rho_sr = rr / (1.0 - rr * (p_star - pr) / _nmax(w_rgt * w_rgt, 1e-300))
+        rho_sl = _nmax(rho_sl, 1e-12)
+        rho_sr = _nmax(rho_sr, 1e-12)
+
+        s_l = ul - w_lft / rl
+        s_r = ur + w_rgt / rr
+
+        if u_star >= 0.0:
+            if s_l >= 0.0:
+                rho_i = rl
+                u_i = ul
+                p_i = pl
+            else:
+                rho_i = rho_sl
+                u_i = u_star
+                p_i = p_star
+            v_i = v_l[i]
+            w_i = w_l[i]
+        else:
+            if s_r <= 0.0:
+                rho_i = rr
+                u_i = ur
+                p_i = pr
+            else:
+                rho_i = rho_sr
+                u_i = u_star
+                p_i = p_star
+            v_i = v_r[i]
+            w_i = w_r[i]
+
+        e_total = p_i / ((gamma - 1.0) * rho_i) + 0.5 * (
+            u_i * u_i + v_i * v_i + w_i * w_i
+        )
+        f0[i] = rho_i * u_i
+        f1[i] = rho_i * u_i * u_i + p_i
+        f2[i] = rho_i * u_i * v_i
+        f3[i] = rho_i * u_i * w_i
+        f4[i] = u_i * (rho_i * e_total + p_i)
+
+
+def hllc(rho_l, u_l, v_l, w_l, p_l, rho_r, u_r, v_r, w_r, p_r,
+         gamma, f0, f1, f2, f3, f4):
+    """HLLC flux (see riemann.hllc_flux) with Einfeldt wave speeds."""
+    n = rho_l.shape[0]
+    for i in range(n):
+        rl = rho_l[i]
+        ul = u_l[i]
+        vl = v_l[i]
+        wl = w_l[i]
+        pl = p_l[i]
+        rr = rho_r[i]
+        ur = u_r[i]
+        vr = v_r[i]
+        wr = w_r[i]
+        pr = p_r[i]
+
+        # Einfeldt wave-speed estimates (== riemann._wave_speed_estimates)
+        cl = math.sqrt(gamma * pl / rl)
+        cr = math.sqrt(gamma * pr / rr)
+        sqrt_l = math.sqrt(rl)
+        sqrt_r = math.sqrt(rr)
+        u_roe = (sqrt_l * ul + sqrt_r * ur) / (sqrt_l + sqrt_r)
+        h_l = (gamma * pl / ((gamma - 1.0) * rl)) + 0.5 * ul * ul
+        h_r = (gamma * pr / ((gamma - 1.0) * rr)) + 0.5 * ur * ur
+        h_roe = (sqrt_l * h_l + sqrt_r * h_r) / (sqrt_l + sqrt_r)
+        c_roe = math.sqrt(
+            _nmax((gamma - 1.0) * (h_roe - 0.5 * u_roe * u_roe), 1e-300)
+        )
+        s_l = _nmin(ul - cl, u_roe - c_roe)
+        s_r = _nmax(ur + cr, u_roe + c_roe)
+
+        num = pr - pl + rl * ul * (s_l - ul) - rr * ur * (s_r - ur)
+        den = rl * (s_l - ul) - rr * (s_r - ur)
+        if abs(den) < 1e-300:
+            den = 1e-300
+        s_m = num / den
+        s_m = _nmin(_nmax(s_m, s_l), s_r)
+
+        e_l = pl / ((gamma - 1.0) * rl) + 0.5 * (ul * ul + vl * vl + wl * wl)
+        e_r = pr / ((gamma - 1.0) * rr) + 0.5 * (ur * ur + vr * vr + wr * wr)
+        fl0 = rl * ul
+        fl1 = rl * ul * ul + pl
+        fl2 = rl * ul * vl
+        fl3 = rl * ul * wl
+        fl4 = ul * (rl * e_l + pl)
+        fr0 = rr * ur
+        fr1 = rr * ur * ur + pr
+        fr2 = rr * ur * vr
+        fr3 = rr * ur * wr
+        fr4 = ur * (rr * e_r + pr)
+
+        if s_l >= 0.0:
+            f0[i] = fl0
+            f1[i] = fl1
+            f2[i] = fl2
+            f3[i] = fl3
+            f4[i] = fl4
+        elif s_m >= 0.0:
+            smu = s_l - s_m
+            if abs(smu) < 1e-300:
+                smu = 1e-300
+            factor = rl * (s_l - ul) / smu
+            su = s_l - ul
+            if abs(su) > 1e-300:
+                p_term = pl / (rl * (1.0 if su == 0 else su))
+            else:
+                p_term = 0.0
+            cs0 = factor
+            cs1 = factor * s_m
+            cs2 = factor * vl
+            cs3 = factor * wl
+            cs4 = factor * (e_l + (s_m - ul) * (s_m + p_term))
+            f0[i] = fl0 + s_l * (cs0 - rl)
+            f1[i] = fl1 + s_l * (cs1 - rl * ul)
+            f2[i] = fl2 + s_l * (cs2 - rl * vl)
+            f3[i] = fl3 + s_l * (cs3 - rl * wl)
+            f4[i] = fl4 + s_l * (cs4 - rl * e_l)
+        elif s_r >= 0.0:
+            smu = s_r - s_m
+            if abs(smu) < 1e-300:
+                smu = 1e-300
+            factor = rr * (s_r - ur) / smu
+            su = s_r - ur
+            if abs(su) > 1e-300:
+                p_term = pr / (rr * (1.0 if su == 0 else su))
+            else:
+                p_term = 0.0
+            cs0 = factor
+            cs1 = factor * s_m
+            cs2 = factor * vr
+            cs3 = factor * wr
+            cs4 = factor * (e_r + (s_m - ur) * (s_m + p_term))
+            f0[i] = fr0 + s_r * (cs0 - rr)
+            f1[i] = fr1 + s_r * (cs1 - rr * ur)
+            f2[i] = fr2 + s_r * (cs2 - rr * vr)
+            f3[i] = fr3 + s_r * (cs3 - rr * wr)
+            f4[i] = fr4 + s_r * (cs4 - rr * e_r)
+        else:
+            f0[i] = fr0
+            f1[i] = fr1
+            f2[i] = fr2
+            f3[i] = fr3
+            f4[i] = fr4
+
+
+def hll(rho_l, u_l, v_l, w_l, p_l, rho_r, u_r, v_r, w_r, p_r,
+        gamma, f0, f1, f2, f3, f4):
+    """HLL two-wave flux (see riemann.hll_flux)."""
+    n = rho_l.shape[0]
+    for i in range(n):
+        rl = rho_l[i]
+        ul = u_l[i]
+        vl = v_l[i]
+        wl = w_l[i]
+        pl = p_l[i]
+        rr = rho_r[i]
+        ur = u_r[i]
+        vr = v_r[i]
+        wr = w_r[i]
+        pr = p_r[i]
+
+        cl = math.sqrt(gamma * pl / rl)
+        cr = math.sqrt(gamma * pr / rr)
+        sqrt_l = math.sqrt(rl)
+        sqrt_r = math.sqrt(rr)
+        u_roe = (sqrt_l * ul + sqrt_r * ur) / (sqrt_l + sqrt_r)
+        h_l = (gamma * pl / ((gamma - 1.0) * rl)) + 0.5 * ul * ul
+        h_r = (gamma * pr / ((gamma - 1.0) * rr)) + 0.5 * ur * ur
+        h_roe = (sqrt_l * h_l + sqrt_r * h_r) / (sqrt_l + sqrt_r)
+        c_roe = math.sqrt(
+            _nmax((gamma - 1.0) * (h_roe - 0.5 * u_roe * u_roe), 1e-300)
+        )
+        s_l = _nmin(ul - cl, u_roe - c_roe)
+        s_r = _nmax(ur + cr, u_roe + c_roe)
+
+        e_l = pl / ((gamma - 1.0) * rl) + 0.5 * (ul * ul + vl * vl + wl * wl)
+        e_r = pr / ((gamma - 1.0) * rr) + 0.5 * (ur * ur + vr * vr + wr * wr)
+        fl0 = rl * ul
+        fl1 = rl * ul * ul + pl
+        fl2 = rl * ul * vl
+        fl3 = rl * ul * wl
+        fl4 = ul * (rl * e_l + pl)
+        fr0 = rr * ur
+        fr1 = rr * ur * ur + pr
+        fr2 = rr * ur * vr
+        fr3 = rr * ur * wr
+        fr4 = ur * (rr * e_r + pr)
+
+        denom = s_r - s_l
+        if s_l >= 0.0:
+            f0[i] = fl0
+            f1[i] = fl1
+            f2[i] = fl2
+            f3[i] = fl3
+            f4[i] = fl4
+        elif s_r <= 0.0:
+            f0[i] = fr0
+            f1[i] = fr1
+            f2[i] = fr2
+            f3[i] = fr3
+            f4[i] = fr4
+        else:
+            f0[i] = (s_r * fl0 - s_l * fr0 + s_l * s_r * (rr - rl)) / denom
+            f1[i] = (s_r * fl1 - s_l * fr1
+                     + s_l * s_r * (rr * ur - rl * ul)) / denom
+            f2[i] = (s_r * fl2 - s_l * fr2
+                     + s_l * s_r * (rr * vr - rl * vl)) / denom
+            f3[i] = (s_r * fl3 - s_l * fr3
+                     + s_l * s_r * (rr * wr - rl * wl)) / denom
+            f4[i] = (s_r * fl4 - s_l * fr4
+                     + s_l * s_r * (rr * e_r - rl * e_l)) / denom
+
+
+# --------------------------------------------------------------------------
+# reconstruction — arrays are 2-d (n, m): sweep axis flattened against the
+# transverse axes.  ql/qr are (n-1, m) face outputs.
+# --------------------------------------------------------------------------
+
+
+def plm(q, ql, qr):
+    """PLM/MC interface states (see reconstruction.plm_reconstruct)."""
+    n = q.shape[0]
+    m = q.shape[1]
+    for f in range(n - 1):
+        for j in range(m):
+            ql[f, j] = q[f, j]
+            qr[f, j] = q[f + 1, j]
+    if n >= 4:
+        for c in range(1, n - 1):
+            for j in range(m):
+                dq_minus = q[c, j] - q[c - 1, j]
+                dq_plus = q[c + 1, j] - q[c, j]
+                slope = _mc(dq_minus, dq_plus)
+                ql[c, j] = q[c, j] + 0.5 * slope
+                qr[c - 1, j] = q[c, j] - 0.5 * slope
+
+
+def ppm(q, ql, qr, dq, qf):
+    """PPM/CW84 interface states (see reconstruction.ppm_reconstruct).
+
+    Scratch: ``dq`` of shape (n, m) for the limited slopes and ``qf`` of
+    shape (n-3, m) for the fourth-order face values.  Caller guarantees
+    n >= 6 (smaller stencils stay on :func:`plm`, matching the reference).
+    """
+    n = q.shape[0]
+    m = q.shape[1]
+    plm(q, ql, qr)
+    for c in range(1, n - 1):
+        for j in range(m):
+            dq[c, j] = _mc(q[c, j] - q[c - 1, j], q[c + 1, j] - q[c, j])
+    for t in range(n - 3):
+        for j in range(m):
+            qf[t, j] = 0.5 * (q[t + 1, j] + q[t + 2, j]) - (
+                dq[t + 2, j] - dq[t + 1, j]
+            ) / 6.0
+    for c in range(n - 4):
+        for j in range(m):
+            qc = q[c + 2, j]
+            ql_edge = qf[c, j]
+            qr_edge = qf[c + 1, j]
+            if (qr_edge - qc) * (qc - ql_edge) <= 0.0:
+                ql_edge = qc
+                qr_edge = qc
+            dqe = qr_edge - ql_edge
+            q6 = 6.0 * (qc - 0.5 * (ql_edge + qr_edge))
+            overshoot_l = dqe * q6 > dqe * dqe
+            overshoot_r = -(dqe * dqe) > dqe * q6
+            if overshoot_l:
+                ql_edge = 3.0 * qc - 2.0 * qr_edge
+            if overshoot_r:
+                # uses the possibly-updated ql_edge, like the reference
+                qr_edge = 3.0 * qc - 2.0 * ql_edge
+            q_im1 = q[c + 1, j]
+            q_ip1 = q[c + 3, j]
+            ql_edge = _nmin(_nmax(ql_edge, _nmin(q_im1, qc)), _nmax(q_im1, qc))
+            qr_edge = _nmin(_nmax(qr_edge, _nmin(qc, q_ip1)), _nmax(qc, q_ip1))
+            ql[c + 2, j] = qr_edge
+            qr[c + 1, j] = ql_edge
+
+
+# --------------------------------------------------------------------------
+# characteristic tracing — the per-face algebra after the parabola edges
+# have been assembled (cell-edge arrays, shape (n, m)).
+# --------------------------------------------------------------------------
+
+
+def _iplus(ql, qr, q, sigma):
+    dq = qr - ql
+    q6 = 6.0 * (q - 0.5 * (ql + qr))
+    s = _nmin(_nmax(sigma, 0.0), 1.0)
+    return qr - 0.5 * s * (dq - (1.0 - 2.0 * s / 3.0) * q6)
+
+
+def _iminus(ql, qr, q, sigma):
+    dq = qr - ql
+    q6 = 6.0 * (q - 0.5 * (ql + qr))
+    s = _nmin(_nmax(sigma, 0.0), 1.0)
+    return ql + 0.5 * s * (dq + (1.0 - 2.0 * s / 3.0) * q6)
+
+
+def trace(rho, u, v, w, p,
+          el_rho, er_rho, el_u, er_u, el_v, er_v, el_w, er_w, el_p, er_p,
+          dtdx, gamma,
+          out_l_rho, out_l_u, out_l_v, out_l_w, out_l_p,
+          out_r_rho, out_r_u, out_r_v, out_r_w, out_r_p):
+    """Characteristic tracing (see tracing.trace_interface_states).
+
+    Inputs: primitive cell arrays (n, m) and their parabola edge arrays
+    ``el_*``/``er_*`` (cell left/right edges, from the PPM face states).
+    Outputs: the ten (n-1, m) face-state components.  Face ``f`` takes its
+    left state from cell ``f`` (right-going waves) and its right state
+    from cell ``f+1`` (left-going waves).
+    """
+    n = rho.shape[0]
+    m = rho.shape[1]
+    for f in range(n - 1):
+        for j in range(m):
+            # ---- left state from cell i = f ------------------------------
+            i = f
+            rho_i = rho[i, j]
+            u_i = u[i, j]
+            p_i = p[i, j]
+            c_i = math.sqrt(
+                gamma * _nmax(p_i, 1e-300) / _nmax(rho_i, 1e-300)
+            )
+            c2 = c_i * c_i
+            lam_m = u_i - c_i
+            lam_0 = u_i
+            lam_p = u_i + c_i
+
+            lam_max = _nmax(lam_p, 0.0)
+            ref_rho = _iplus(el_rho[i, j], er_rho[i, j], rho_i,
+                             lam_max * dtdx)
+            ref_u = _iplus(el_u[i, j], er_u[i, j], u_i, lam_max * dtdx)
+            ref_p = _iplus(el_p[i, j], er_p[i, j], p_i, lam_max * dtdx)
+            wl_rho = ref_rho
+            wl_u = ref_u
+            wl_p = ref_p
+
+            # lam_m family
+            sig = _nmax(lam_m, 0.0) * dtdx
+            d_rho = ref_rho - _iplus(el_rho[i, j], er_rho[i, j], rho_i, sig)
+            d_u = ref_u - _iplus(el_u[i, j], er_u[i, j], u_i, sig)
+            d_p = ref_p - _iplus(el_p[i, j], er_p[i, j], p_i, sig)
+            alpha = (d_p - rho_i * c_i * d_u) / (2.0 * c2)
+            mask = 1.0 if lam_m > 0.0 else 0.0
+            wl_rho -= mask * alpha * 1.0
+            wl_u -= mask * alpha * (-c_i / rho_i)
+            wl_p -= mask * alpha * c2
+
+            # lam_0 family
+            sig = _nmax(lam_0, 0.0) * dtdx
+            d_rho = ref_rho - _iplus(el_rho[i, j], er_rho[i, j], rho_i, sig)
+            d_u = ref_u - _iplus(el_u[i, j], er_u[i, j], u_i, sig)
+            d_p = ref_p - _iplus(el_p[i, j], er_p[i, j], p_i, sig)
+            alpha = d_rho - d_p / c2
+            mask = 1.0 if lam_0 > 0.0 else 0.0
+            wl_rho -= mask * alpha * 1.0
+            wl_u -= mask * alpha * 0.0
+            wl_p -= mask * alpha * 0.0
+
+            sig0 = _nmax(lam_0, 0.0) * dtdx
+            out_l_rho[f, j] = wl_rho
+            out_l_u[f, j] = wl_u
+            out_l_v[f, j] = _iplus(el_v[i, j], er_v[i, j], v[i, j], sig0)
+            out_l_w[f, j] = _iplus(el_w[i, j], er_w[i, j], w[i, j], sig0)
+            out_l_p[f, j] = wl_p
+
+            # ---- right state from cell i = f + 1 -------------------------
+            i = f + 1
+            rho_i = rho[i, j]
+            u_i = u[i, j]
+            p_i = p[i, j]
+            c_i = math.sqrt(
+                gamma * _nmax(p_i, 1e-300) / _nmax(rho_i, 1e-300)
+            )
+            c2 = c_i * c_i
+            lam_m = u_i - c_i
+            lam_0 = u_i
+            lam_p = u_i + c_i
+
+            lam_min = _nmin(lam_m, 0.0)
+            ref_rho = _iminus(el_rho[i, j], er_rho[i, j], rho_i,
+                              -lam_min * dtdx)
+            ref_u = _iminus(el_u[i, j], er_u[i, j], u_i, -lam_min * dtdx)
+            ref_p = _iminus(el_p[i, j], er_p[i, j], p_i, -lam_min * dtdx)
+            wr_rho = ref_rho
+            wr_u = ref_u
+            wr_p = ref_p
+
+            # lam_p family
+            sig = -_nmin(lam_p, 0.0) * dtdx
+            d_rho = ref_rho - _iminus(el_rho[i, j], er_rho[i, j], rho_i, sig)
+            d_u = ref_u - _iminus(el_u[i, j], er_u[i, j], u_i, sig)
+            d_p = ref_p - _iminus(el_p[i, j], er_p[i, j], p_i, sig)
+            alpha = (d_p + rho_i * c_i * d_u) / (2.0 * c2)
+            mask = 1.0 if lam_p < 0.0 else 0.0
+            wr_rho -= mask * alpha * 1.0
+            wr_u -= mask * alpha * (c_i / rho_i)
+            wr_p -= mask * alpha * c2
+
+            # lam_0 family
+            sig = -_nmin(lam_0, 0.0) * dtdx
+            d_rho = ref_rho - _iminus(el_rho[i, j], er_rho[i, j], rho_i, sig)
+            d_u = ref_u - _iminus(el_u[i, j], er_u[i, j], u_i, sig)
+            d_p = ref_p - _iminus(el_p[i, j], er_p[i, j], p_i, sig)
+            alpha = d_rho - d_p / c2
+            mask = 1.0 if lam_0 < 0.0 else 0.0
+            wr_rho -= mask * alpha * 1.0
+            wr_u -= mask * alpha * 0.0
+            wr_p -= mask * alpha * 0.0
+
+            sig0 = -_nmin(lam_0, 0.0) * dtdx
+            out_r_rho[f, j] = wr_rho
+            out_r_u[f, j] = wr_u
+            out_r_v[f, j] = _iminus(el_v[i, j], er_v[i, j], v[i, j], sig0)
+            out_r_w[f, j] = _iminus(el_w[i, j], er_w[i, j], w[i, j], sig0)
+            out_r_p[f, j] = wr_p
+
+
+# --------------------------------------------------------------------------
+# chemistry — log-table gather + linear blend (the exp stays in NumPy)
+# --------------------------------------------------------------------------
+
+
+def chem_blend(logtab, idx, weight, out):
+    """Gather + lerp over the channel-major log-rate table.
+
+    ``(hi - lo) * w + lo`` matches the reference's in-place
+    ``out -= lo; out *= w; out += lo`` exactly (no FMA contraction).
+    """
+    n_ch = logtab.shape[0]
+    n_t = idx.shape[0]
+    for c in range(n_ch):
+        for j in range(n_t):
+            lo = logtab[c, idx[j]]
+            hi = logtab[c, idx[j] + 1]
+            out[c, j] = (hi - lo) * weight[j] + lo

@@ -1,0 +1,141 @@
+"""Adapt flat-loop kernels to the dispatch-registry call contracts.
+
+The registry contracts mirror the NumPy reference signatures exactly:
+
+* ``riemann.*``       ``fn(left, right, gamma, ...) -> 5-tuple of fluxes``
+* ``reconstruct.*``   ``fn(q) -> (q_l, q_r)`` with face shape ``(n-1, ...)``
+* ``trace.states``    ``fn(rho, u, v, w, p, dtdx, gamma) -> (l, r) tuples``
+* ``chem.blend``      ``fn(logtab, idx, weight) -> (channels, n) rates``
+
+The loop bodies (:mod:`repro.kernels._loops` or their njit/C twins) want
+flat contiguous arrays and preallocated outputs; :func:`make_impls` builds
+the contract functions around any namespace exposing the loop signatures,
+so the plain-Python loops, the numba backend, and (for the reconstruction
+helpers) the cffi backend all share one normalisation path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _face_arrays(left, right):
+    """Broadcast + flatten the ten face-state arrays to contiguous 1-d."""
+    arrs = [np.asarray(a, dtype=float) for a in (*left, *right)]
+    shape = np.broadcast_shapes(*(a.shape for a in arrs))
+    flat = [
+        np.ascontiguousarray(np.broadcast_to(a, shape)).reshape(-1)
+        for a in arrs
+    ]
+    return flat, shape
+
+
+def _to_2d(q):
+    """View/copy ``q`` as contiguous (n, m): sweep axis × flattened rest."""
+    q = np.asarray(q, dtype=float)
+    n = q.shape[0]
+    rest = q.shape[1:]
+    m = 1
+    for s in rest:
+        m *= s
+    return np.ascontiguousarray(q).reshape(n, m), rest
+
+
+def make_impls(loops) -> dict:
+    """Build the dispatch-contract callables around one loop namespace."""
+
+    def _riemann(kernel, left, right, gamma, *extra):
+        flat, shape = _face_arrays(left, right)
+        n = flat[0].size
+        outs = tuple(np.empty(n) for _ in range(5))
+        kernel(*flat, float(gamma), *extra, *outs)
+        return tuple(o.reshape(shape) for o in outs)
+
+    def two_shock(left, right, gamma, iterations: int = 20,
+                  rtol: float = 0.0):
+        return _riemann(loops.two_shock, left, right, gamma,
+                        int(iterations), float(rtol))
+
+    def hllc(left, right, gamma):
+        return _riemann(loops.hllc, left, right, gamma)
+
+    def hll(left, right, gamma):
+        return _riemann(loops.hll, left, right, gamma)
+
+    def _recon_2d(q2):
+        """Face states on an already-2-d array (shared with tracing)."""
+        n, m = q2.shape
+        if n < 2:
+            raise ValueError("need at least 2 cells along the sweep axis")
+        ql = np.empty((n - 1, m))
+        qr = np.empty((n - 1, m))
+        if n < 6:
+            loops.plm(q2, ql, qr)
+        else:
+            dq = np.empty((n, m))
+            qf = np.empty((n - 3, m))
+            loops.ppm(q2, ql, qr, dq, qf)
+        return ql, qr
+
+    def ppm(q):
+        q2, rest = _to_2d(q)
+        ql, qr = _recon_2d(q2)
+        n = q2.shape[0]
+        return ql.reshape((n - 1,) + rest), qr.reshape((n - 1,) + rest)
+
+    def plm(q):
+        q2, rest = _to_2d(q)
+        n, m = q2.shape
+        if n < 2:
+            raise ValueError("need at least 2 cells along the sweep axis")
+        ql = np.empty((n - 1, m))
+        qr = np.empty((n - 1, m))
+        loops.plm(q2, ql, qr)
+        return ql.reshape((n - 1,) + rest), qr.reshape((n - 1,) + rest)
+
+    def trace_states(rho, u, v, w, p, dtdx, gamma):
+        prims = []
+        rest = None
+        for q in (rho, u, v, w, p):
+            q2, rest = _to_2d(q)
+            prims.append(q2)
+        n, m = prims[0].shape
+        # cell-edge parabolas assembled from the PPM face states, exactly
+        # like tracing._parabola: cell i's left edge is face i-1's right
+        # state, its right edge face i's left state.
+        edges = []
+        for q2 in prims:
+            fl, fr = _recon_2d(q2)
+            ql = np.empty_like(q2)
+            qr = np.empty_like(q2)
+            ql[1:] = fr
+            ql[0] = q2[0]
+            qr[:-1] = fl
+            qr[-1] = q2[-1]
+            edges.append(ql)
+            edges.append(qr)
+        outs = tuple(np.empty((n - 1, m)) for _ in range(10))
+        loops.trace(*prims, *edges, float(dtdx), float(gamma), *outs)
+        fshape = (n - 1,) + rest
+        states_l = tuple(o.reshape(fshape) for o in outs[:5])
+        states_r = tuple(o.reshape(fshape) for o in outs[5:])
+        return states_l, states_r
+
+    def chem_blend(logtab, idx, weight):
+        logtab = np.ascontiguousarray(logtab, dtype=float)
+        idx = np.ascontiguousarray(idx, dtype=np.intp)
+        weight = np.ascontiguousarray(weight, dtype=float)
+        out = np.empty((logtab.shape[0], idx.shape[0]))
+        loops.chem_blend(logtab, idx, weight, out)
+        np.exp(out, out=out)  # stays a ufunc: SIMD exp != libm exp bitwise
+        return out
+
+    return {
+        "riemann.two_shock": two_shock,
+        "riemann.hllc": hllc,
+        "riemann.hll": hll,
+        "reconstruct.ppm": ppm,
+        "reconstruct.plm": plm,
+        "trace.states": trace_states,
+        "chem.blend": chem_blend,
+    }

@@ -1,0 +1,677 @@
+"""cffi/C backend: the flat-loop kernels hand-written in C.
+
+A line-for-line mirror of :mod:`repro.kernels._loops`, compiled once per
+machine with the system C compiler through cffi (API mode) and cached as a
+shared object under ``REPRO_KERNELS_CACHE`` (default
+``~/.cache/repro-kernels``).  Importing this module triggers the build the
+first time; any failure (no cffi, no compiler, sandboxed cache dir)
+surfaces as an exception the dispatch registry turns into the standard
+warn-once NumPy fallback.
+
+Bitwise parity with the NumPy reference is a hard requirement, so the
+compile flags matter:
+
+* ``-ffp-contract=off`` — no FMA contraction; every multiply and add
+  rounds separately, exactly like the NumPy ufuncs;
+* no ``-ffast-math`` (ever) — keeps IEEE semantics, NaN propagation, and
+  division/sqrt correctly rounded;
+* ``-fno-math-errno`` is safe (it only drops the errno bookkeeping).
+
+The helpers ``nmax``/``nmin`` replicate ``np.maximum``/``np.minimum`` NaN
+propagation; conditionals replicate ``np.where`` NaN-falls-false
+semantics — see the _loops docstring for the full parity rulebook.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.kernels import _wrap, dispatch
+
+_CDEF = """
+void rk_two_shock(long n,
+    const double *rho_l, const double *u_l, const double *v_l,
+    const double *w_l, const double *p_l,
+    const double *rho_r, const double *u_r, const double *v_r,
+    const double *w_r, const double *p_r,
+    double gamma, long iterations, double rtol,
+    double *f0, double *f1, double *f2, double *f3, double *f4);
+void rk_hllc(long n,
+    const double *rho_l, const double *u_l, const double *v_l,
+    const double *w_l, const double *p_l,
+    const double *rho_r, const double *u_r, const double *v_r,
+    const double *w_r, const double *p_r,
+    double gamma,
+    double *f0, double *f1, double *f2, double *f3, double *f4);
+void rk_hll(long n,
+    const double *rho_l, const double *u_l, const double *v_l,
+    const double *w_l, const double *p_l,
+    const double *rho_r, const double *u_r, const double *v_r,
+    const double *w_r, const double *p_r,
+    double gamma,
+    double *f0, double *f1, double *f2, double *f3, double *f4);
+void rk_plm(long n, long m, const double *q, double *ql, double *qr);
+void rk_ppm(long n, long m, const double *q, double *ql, double *qr,
+    double *dq, double *qf);
+void rk_trace(long n, long m,
+    const double *rho, const double *u, const double *v,
+    const double *w, const double *p,
+    const double *el_rho, const double *er_rho,
+    const double *el_u, const double *er_u,
+    const double *el_v, const double *er_v,
+    const double *el_w, const double *er_w,
+    const double *el_p, const double *er_p,
+    double dtdx, double gamma,
+    double *ol_rho, double *ol_u, double *ol_v, double *ol_w, double *ol_p,
+    double *or_rho, double *or_u, double *or_v, double *or_w, double *or_p);
+void rk_chem_blend(long n_ch, long n_bins, long n_t, const double *logtab,
+    const int64_t *idx, const double *weight, double *out);
+"""
+
+_CSOURCE = r"""
+#include <math.h>
+#include <stdint.h>
+
+/* np.maximum / np.minimum: NaN in either operand propagates */
+static double nmax(double a, double b) {
+    if (a != a) return a;
+    if (b != b) return b;
+    return a > b ? a : b;
+}
+
+static double nmin(double a, double b) {
+    if (a != a) return a;
+    if (b != b) return b;
+    return a < b ? a : b;
+}
+
+static double minmod(double a, double b) {
+    if (a * b > 0.0)
+        return fabs(a) < fabs(b) ? a : b;
+    return 0.0;
+}
+
+static double mc(double dq_minus, double dq_plus) {
+    double dq_c = 0.5 * (dq_minus + dq_plus);
+    double lim = minmod(2.0 * dq_minus, 2.0 * dq_plus);
+    return minmod(dq_c, lim);
+}
+
+void rk_two_shock(long n,
+    const double *rho_l, const double *u_l, const double *v_l,
+    const double *w_l, const double *p_l,
+    const double *rho_r, const double *u_r, const double *v_r,
+    const double *w_r, const double *p_r,
+    double gamma, long iterations, double rtol,
+    double *f0, double *f1, double *f2, double *f3, double *f4)
+{
+    double gp = 0.5 * (gamma + 1.0);
+    double gm = 0.5 * (gamma - 1.0);
+    /* Faces are processed in blocks: the Newton sweep iterates over a
+       block of independent faces, so the dependent sqrt chains of many
+       faces are in flight at once (ILP / vectorisation) instead of one
+       face's chain serialising the loop.  The per-face update sequence
+       is unchanged — a converged face re-derives the same p_star, so the
+       block-level early exit stays bitwise. */
+    enum { TS_BLK = 64 };
+    double ps[TS_BLK];
+    for (long base = 0; base < n; base += TS_BLK) {
+        long m = (n - base < (long)TS_BLK) ? (n - base) : (long)TS_BLK;
+        for (long j = 0; j < m; j++) {
+            long i = base + j;
+            ps[j] = nmax(0.5 * (p_l[i] + p_r[i]), 1e-300);
+        }
+        for (long it = 0; it < iterations; it++) {
+            int all_done = 1;
+            /* branchless body so the face loop if-converts/vectorises:
+               the floor is nmax() inlined as a ternary (values are
+               >= 1e-300 > 0, so no signed-zero ambiguity, and NaN
+               propagates through the first-operand test exactly like
+               np.maximum); storing an equal p_new is a bitwise no-op,
+               so the store is unconditional.  The simd pragma runs
+               lanes elementwise with IEEE-exact vector sqrt/div — no
+               cross-lane FP arithmetic, so results stay bitwise. */
+            #pragma omp simd reduction(&:all_done)
+            for (long j = 0; j < m; j++) {
+                long i = base + j;
+                double p_star = ps[j];
+                double w_lft = sqrt(rho_l[i] * (gp * p_star + gm * p_l[i]));
+                double w_rgt = sqrt(rho_r[i] * (gp * p_star + gm * p_r[i]));
+                double us_l = u_l[i] - (p_star - p_l[i]) / w_lft;
+                double us_r = u_r[i] + (p_star - p_r[i]) / w_rgt;
+                double dp = (us_l - us_r) * (w_lft * w_rgt)
+                            / (w_lft + w_rgt);
+                double sum = p_star + dp;
+                double p_new = (sum > 1e-300 || sum != sum) ? sum : 1e-300;
+                int conv = (rtol > 0.0)
+                    ? (fabs(dp) <= rtol * p_new)
+                    : ((rtol == 0.0) ? (p_new == p_star) : 0);
+                ps[j] = p_new;
+                all_done &= conv;
+            }
+            if (all_done) break;
+        }
+        for (long j = 0; j < m; j++) {
+            long i = base + j;
+            double rl = rho_l[i], ul = u_l[i], pl = p_l[i];
+            double rr = rho_r[i], ur = u_r[i], pr = p_r[i];
+            double p_star = ps[j];
+            double w_lft = sqrt(rl * (gp * p_star + gm * pl));
+            double w_rgt = sqrt(rr * (gp * p_star + gm * pr));
+            double u_star = 0.5 * (ul - (p_star - pl) / w_lft
+                                   + ur + (p_star - pr) / w_rgt);
+
+            double rho_sl = rl / (1.0 - rl * (p_star - pl)
+                                  / nmax(w_lft * w_lft, 1e-300));
+            double rho_sr = rr / (1.0 - rr * (p_star - pr)
+                                  / nmax(w_rgt * w_rgt, 1e-300));
+            rho_sl = nmax(rho_sl, 1e-12);
+            rho_sr = nmax(rho_sr, 1e-12);
+
+            double s_l = ul - w_lft / rl;
+            double s_r = ur + w_rgt / rr;
+
+            double rho_i, u_i, p_i, v_i, w_i;
+            if (u_star >= 0.0) {
+                if (s_l >= 0.0) { rho_i = rl; u_i = ul; p_i = pl; }
+                else { rho_i = rho_sl; u_i = u_star; p_i = p_star; }
+                v_i = v_l[i]; w_i = w_l[i];
+            } else {
+                if (s_r <= 0.0) { rho_i = rr; u_i = ur; p_i = pr; }
+                else { rho_i = rho_sr; u_i = u_star; p_i = p_star; }
+                v_i = v_r[i]; w_i = w_r[i];
+            }
+
+            double e_total = p_i / ((gamma - 1.0) * rho_i)
+                + 0.5 * (u_i * u_i + v_i * v_i + w_i * w_i);
+            f0[i] = rho_i * u_i;
+            f1[i] = rho_i * u_i * u_i + p_i;
+            f2[i] = rho_i * u_i * v_i;
+            f3[i] = rho_i * u_i * w_i;
+            f4[i] = u_i * (rho_i * e_total + p_i);
+        }
+    }
+}
+
+void rk_hllc(long n,
+    const double *rho_l, const double *u_l, const double *v_l,
+    const double *w_l, const double *p_l,
+    const double *rho_r, const double *u_r, const double *v_r,
+    const double *w_r, const double *p_r,
+    double gamma,
+    double *f0, double *f1, double *f2, double *f3, double *f4)
+{
+    for (long i = 0; i < n; i++) {
+        double rl = rho_l[i], ul = u_l[i], vl = v_l[i], wl = w_l[i],
+               pl = p_l[i];
+        double rr = rho_r[i], ur = u_r[i], vr = v_r[i], wr = w_r[i],
+               pr = p_r[i];
+
+        double cl = sqrt(gamma * pl / rl);
+        double cr = sqrt(gamma * pr / rr);
+        double sqrt_l = sqrt(rl);
+        double sqrt_r = sqrt(rr);
+        double u_roe = (sqrt_l * ul + sqrt_r * ur) / (sqrt_l + sqrt_r);
+        double h_l = (gamma * pl / ((gamma - 1.0) * rl)) + 0.5 * ul * ul;
+        double h_r = (gamma * pr / ((gamma - 1.0) * rr)) + 0.5 * ur * ur;
+        double h_roe = (sqrt_l * h_l + sqrt_r * h_r) / (sqrt_l + sqrt_r);
+        double c_roe = sqrt(nmax((gamma - 1.0)
+                                 * (h_roe - 0.5 * u_roe * u_roe), 1e-300));
+        double s_l = nmin(ul - cl, u_roe - c_roe);
+        double s_r = nmax(ur + cr, u_roe + c_roe);
+
+        double num = pr - pl + rl * ul * (s_l - ul) - rr * ur * (s_r - ur);
+        double den = rl * (s_l - ul) - rr * (s_r - ur);
+        if (fabs(den) < 1e-300) den = 1e-300;
+        double s_m = num / den;
+        s_m = nmin(nmax(s_m, s_l), s_r);
+
+        double e_l = pl / ((gamma - 1.0) * rl)
+            + 0.5 * (ul * ul + vl * vl + wl * wl);
+        double e_r = pr / ((gamma - 1.0) * rr)
+            + 0.5 * (ur * ur + vr * vr + wr * wr);
+        double fl0 = rl * ul, fl1 = rl * ul * ul + pl, fl2 = rl * ul * vl,
+               fl3 = rl * ul * wl, fl4 = ul * (rl * e_l + pl);
+        double fr0 = rr * ur, fr1 = rr * ur * ur + pr, fr2 = rr * ur * vr,
+               fr3 = rr * ur * wr, fr4 = ur * (rr * e_r + pr);
+
+        if (s_l >= 0.0) {
+            f0[i] = fl0; f1[i] = fl1; f2[i] = fl2; f3[i] = fl3; f4[i] = fl4;
+        } else if (s_m >= 0.0) {
+            double smu = s_l - s_m;
+            if (fabs(smu) < 1e-300) smu = 1e-300;
+            double factor = rl * (s_l - ul) / smu;
+            double su = s_l - ul;
+            double p_term;
+            if (fabs(su) > 1e-300)
+                p_term = pl / (rl * (su == 0 ? 1.0 : su));
+            else
+                p_term = 0.0;
+            double cs0 = factor;
+            double cs1 = factor * s_m;
+            double cs2 = factor * vl;
+            double cs3 = factor * wl;
+            double cs4 = factor * (e_l + (s_m - ul) * (s_m + p_term));
+            f0[i] = fl0 + s_l * (cs0 - rl);
+            f1[i] = fl1 + s_l * (cs1 - rl * ul);
+            f2[i] = fl2 + s_l * (cs2 - rl * vl);
+            f3[i] = fl3 + s_l * (cs3 - rl * wl);
+            f4[i] = fl4 + s_l * (cs4 - rl * e_l);
+        } else if (s_r >= 0.0) {
+            double smu = s_r - s_m;
+            if (fabs(smu) < 1e-300) smu = 1e-300;
+            double factor = rr * (s_r - ur) / smu;
+            double su = s_r - ur;
+            double p_term;
+            if (fabs(su) > 1e-300)
+                p_term = pr / (rr * (su == 0 ? 1.0 : su));
+            else
+                p_term = 0.0;
+            double cs0 = factor;
+            double cs1 = factor * s_m;
+            double cs2 = factor * vr;
+            double cs3 = factor * wr;
+            double cs4 = factor * (e_r + (s_m - ur) * (s_m + p_term));
+            f0[i] = fr0 + s_r * (cs0 - rr);
+            f1[i] = fr1 + s_r * (cs1 - rr * ur);
+            f2[i] = fr2 + s_r * (cs2 - rr * vr);
+            f3[i] = fr3 + s_r * (cs3 - rr * wr);
+            f4[i] = fr4 + s_r * (cs4 - rr * e_r);
+        } else {
+            f0[i] = fr0; f1[i] = fr1; f2[i] = fr2; f3[i] = fr3; f4[i] = fr4;
+        }
+    }
+}
+
+void rk_hll(long n,
+    const double *rho_l, const double *u_l, const double *v_l,
+    const double *w_l, const double *p_l,
+    const double *rho_r, const double *u_r, const double *v_r,
+    const double *w_r, const double *p_r,
+    double gamma,
+    double *f0, double *f1, double *f2, double *f3, double *f4)
+{
+    for (long i = 0; i < n; i++) {
+        double rl = rho_l[i], ul = u_l[i], vl = v_l[i], wl = w_l[i],
+               pl = p_l[i];
+        double rr = rho_r[i], ur = u_r[i], vr = v_r[i], wr = w_r[i],
+               pr = p_r[i];
+
+        double cl = sqrt(gamma * pl / rl);
+        double cr = sqrt(gamma * pr / rr);
+        double sqrt_l = sqrt(rl);
+        double sqrt_r = sqrt(rr);
+        double u_roe = (sqrt_l * ul + sqrt_r * ur) / (sqrt_l + sqrt_r);
+        double h_l = (gamma * pl / ((gamma - 1.0) * rl)) + 0.5 * ul * ul;
+        double h_r = (gamma * pr / ((gamma - 1.0) * rr)) + 0.5 * ur * ur;
+        double h_roe = (sqrt_l * h_l + sqrt_r * h_r) / (sqrt_l + sqrt_r);
+        double c_roe = sqrt(nmax((gamma - 1.0)
+                                 * (h_roe - 0.5 * u_roe * u_roe), 1e-300));
+        double s_l = nmin(ul - cl, u_roe - c_roe);
+        double s_r = nmax(ur + cr, u_roe + c_roe);
+
+        double e_l = pl / ((gamma - 1.0) * rl)
+            + 0.5 * (ul * ul + vl * vl + wl * wl);
+        double e_r = pr / ((gamma - 1.0) * rr)
+            + 0.5 * (ur * ur + vr * vr + wr * wr);
+        double fl0 = rl * ul, fl1 = rl * ul * ul + pl, fl2 = rl * ul * vl,
+               fl3 = rl * ul * wl, fl4 = ul * (rl * e_l + pl);
+        double fr0 = rr * ur, fr1 = rr * ur * ur + pr, fr2 = rr * ur * vr,
+               fr3 = rr * ur * wr, fr4 = ur * (rr * e_r + pr);
+
+        double denom = s_r - s_l;
+        if (s_l >= 0.0) {
+            f0[i] = fl0; f1[i] = fl1; f2[i] = fl2; f3[i] = fl3; f4[i] = fl4;
+        } else if (s_r <= 0.0) {
+            f0[i] = fr0; f1[i] = fr1; f2[i] = fr2; f3[i] = fr3; f4[i] = fr4;
+        } else {
+            f0[i] = (s_r * fl0 - s_l * fr0 + s_l * s_r * (rr - rl)) / denom;
+            f1[i] = (s_r * fl1 - s_l * fr1
+                     + s_l * s_r * (rr * ur - rl * ul)) / denom;
+            f2[i] = (s_r * fl2 - s_l * fr2
+                     + s_l * s_r * (rr * vr - rl * vl)) / denom;
+            f3[i] = (s_r * fl3 - s_l * fr3
+                     + s_l * s_r * (rr * wr - rl * wl)) / denom;
+            f4[i] = (s_r * fl4 - s_l * fr4
+                     + s_l * s_r * (rr * e_r - rl * e_l)) / denom;
+        }
+    }
+}
+
+void rk_plm(long n, long m, const double *q, double *ql, double *qr)
+{
+    for (long f = 0; f < n - 1; f++) {
+        for (long j = 0; j < m; j++) {
+            ql[f * m + j] = q[f * m + j];
+            qr[f * m + j] = q[(f + 1) * m + j];
+        }
+    }
+    if (n >= 4) {
+        for (long c = 1; c < n - 1; c++) {
+            for (long j = 0; j < m; j++) {
+                double dq_minus = q[c * m + j] - q[(c - 1) * m + j];
+                double dq_plus = q[(c + 1) * m + j] - q[c * m + j];
+                double slope = mc(dq_minus, dq_plus);
+                ql[c * m + j] = q[c * m + j] + 0.5 * slope;
+                qr[(c - 1) * m + j] = q[c * m + j] - 0.5 * slope;
+            }
+        }
+    }
+}
+
+void rk_ppm(long n, long m, const double *q, double *ql, double *qr,
+    double *dq, double *qf)
+{
+    rk_plm(n, m, q, ql, qr);
+    for (long c = 1; c < n - 1; c++)
+        for (long j = 0; j < m; j++)
+            dq[c * m + j] = mc(q[c * m + j] - q[(c - 1) * m + j],
+                               q[(c + 1) * m + j] - q[c * m + j]);
+    for (long t = 0; t < n - 3; t++)
+        for (long j = 0; j < m; j++)
+            qf[t * m + j] = 0.5 * (q[(t + 1) * m + j] + q[(t + 2) * m + j])
+                - (dq[(t + 2) * m + j] - dq[(t + 1) * m + j]) / 6.0;
+    for (long c = 0; c < n - 4; c++) {
+        for (long j = 0; j < m; j++) {
+            double qc = q[(c + 2) * m + j];
+            double ql_edge = qf[c * m + j];
+            double qr_edge = qf[(c + 1) * m + j];
+            if ((qr_edge - qc) * (qc - ql_edge) <= 0.0) {
+                ql_edge = qc;
+                qr_edge = qc;
+            }
+            double dqe = qr_edge - ql_edge;
+            double q6 = 6.0 * (qc - 0.5 * (ql_edge + qr_edge));
+            int overshoot_l = dqe * q6 > dqe * dqe;
+            int overshoot_r = -(dqe * dqe) > dqe * q6;
+            if (overshoot_l) ql_edge = 3.0 * qc - 2.0 * qr_edge;
+            if (overshoot_r) qr_edge = 3.0 * qc - 2.0 * ql_edge;
+            double q_im1 = q[(c + 1) * m + j];
+            double q_ip1 = q[(c + 3) * m + j];
+            ql_edge = nmin(nmax(ql_edge, nmin(q_im1, qc)), nmax(q_im1, qc));
+            qr_edge = nmin(nmax(qr_edge, nmin(qc, q_ip1)), nmax(qc, q_ip1));
+            ql[(c + 2) * m + j] = qr_edge;
+            qr[(c + 1) * m + j] = ql_edge;
+        }
+    }
+}
+
+static double iplus(double ql, double qr, double q, double sigma)
+{
+    double dq = qr - ql;
+    double q6 = 6.0 * (q - 0.5 * (ql + qr));
+    double s = nmin(nmax(sigma, 0.0), 1.0);
+    return qr - 0.5 * s * (dq - (1.0 - 2.0 * s / 3.0) * q6);
+}
+
+static double iminus(double ql, double qr, double q, double sigma)
+{
+    double dq = qr - ql;
+    double q6 = 6.0 * (q - 0.5 * (ql + qr));
+    double s = nmin(nmax(sigma, 0.0), 1.0);
+    return ql + 0.5 * s * (dq + (1.0 - 2.0 * s / 3.0) * q6);
+}
+
+void rk_trace(long n, long m,
+    const double *rho, const double *u, const double *v,
+    const double *w, const double *p,
+    const double *el_rho, const double *er_rho,
+    const double *el_u, const double *er_u,
+    const double *el_v, const double *er_v,
+    const double *el_w, const double *er_w,
+    const double *el_p, const double *er_p,
+    double dtdx, double gamma,
+    double *ol_rho, double *ol_u, double *ol_v, double *ol_w, double *ol_p,
+    double *or_rho, double *or_u, double *or_v, double *or_w, double *or_p)
+{
+    for (long f = 0; f < n - 1; f++) {
+        for (long j = 0; j < m; j++) {
+            /* ---- left state from cell i = f ---- */
+            long k = f * m + j;
+            double rho_i = rho[k], u_i = u[k], p_i = p[k];
+            double c_i = sqrt(gamma * nmax(p_i, 1e-300)
+                              / nmax(rho_i, 1e-300));
+            double c2 = c_i * c_i;
+            double lam_m = u_i - c_i;
+            double lam_0 = u_i;
+            double lam_p = u_i + c_i;
+
+            double lam_max = nmax(lam_p, 0.0);
+            double ref_rho = iplus(el_rho[k], er_rho[k], rho_i,
+                                   lam_max * dtdx);
+            double ref_u = iplus(el_u[k], er_u[k], u_i, lam_max * dtdx);
+            double ref_p = iplus(el_p[k], er_p[k], p_i, lam_max * dtdx);
+            double wl_rho = ref_rho, wl_u = ref_u, wl_p = ref_p;
+
+            double sig = nmax(lam_m, 0.0) * dtdx;
+            double d_rho = ref_rho - iplus(el_rho[k], er_rho[k], rho_i, sig);
+            double d_u = ref_u - iplus(el_u[k], er_u[k], u_i, sig);
+            double d_p = ref_p - iplus(el_p[k], er_p[k], p_i, sig);
+            double alpha = (d_p - rho_i * c_i * d_u) / (2.0 * c2);
+            double mask = lam_m > 0.0 ? 1.0 : 0.0;
+            wl_rho -= mask * alpha * 1.0;
+            wl_u -= mask * alpha * (-c_i / rho_i);
+            wl_p -= mask * alpha * c2;
+
+            sig = nmax(lam_0, 0.0) * dtdx;
+            d_rho = ref_rho - iplus(el_rho[k], er_rho[k], rho_i, sig);
+            d_u = ref_u - iplus(el_u[k], er_u[k], u_i, sig);
+            d_p = ref_p - iplus(el_p[k], er_p[k], p_i, sig);
+            alpha = d_rho - d_p / c2;
+            mask = lam_0 > 0.0 ? 1.0 : 0.0;
+            wl_rho -= mask * alpha * 1.0;
+            wl_u -= mask * alpha * 0.0;
+            wl_p -= mask * alpha * 0.0;
+
+            double sig0 = nmax(lam_0, 0.0) * dtdx;
+            long o = f * m + j;
+            ol_rho[o] = wl_rho;
+            ol_u[o] = wl_u;
+            ol_v[o] = iplus(el_v[k], er_v[k], v[k], sig0);
+            ol_w[o] = iplus(el_w[k], er_w[k], w[k], sig0);
+            ol_p[o] = wl_p;
+
+            /* ---- right state from cell i = f + 1 ---- */
+            k = (f + 1) * m + j;
+            rho_i = rho[k]; u_i = u[k]; p_i = p[k];
+            c_i = sqrt(gamma * nmax(p_i, 1e-300) / nmax(rho_i, 1e-300));
+            c2 = c_i * c_i;
+            lam_m = u_i - c_i;
+            lam_0 = u_i;
+            lam_p = u_i + c_i;
+
+            double lam_min = nmin(lam_m, 0.0);
+            ref_rho = iminus(el_rho[k], er_rho[k], rho_i, -lam_min * dtdx);
+            ref_u = iminus(el_u[k], er_u[k], u_i, -lam_min * dtdx);
+            ref_p = iminus(el_p[k], er_p[k], p_i, -lam_min * dtdx);
+            double wr_rho = ref_rho, wr_u = ref_u, wr_p = ref_p;
+
+            sig = -nmin(lam_p, 0.0) * dtdx;
+            d_rho = ref_rho - iminus(el_rho[k], er_rho[k], rho_i, sig);
+            d_u = ref_u - iminus(el_u[k], er_u[k], u_i, sig);
+            d_p = ref_p - iminus(el_p[k], er_p[k], p_i, sig);
+            alpha = (d_p + rho_i * c_i * d_u) / (2.0 * c2);
+            mask = lam_p < 0.0 ? 1.0 : 0.0;
+            wr_rho -= mask * alpha * 1.0;
+            wr_u -= mask * alpha * (c_i / rho_i);
+            wr_p -= mask * alpha * c2;
+
+            sig = -nmin(lam_0, 0.0) * dtdx;
+            d_rho = ref_rho - iminus(el_rho[k], er_rho[k], rho_i, sig);
+            d_u = ref_u - iminus(el_u[k], er_u[k], u_i, sig);
+            d_p = ref_p - iminus(el_p[k], er_p[k], p_i, sig);
+            alpha = d_rho - d_p / c2;
+            mask = lam_0 < 0.0 ? 1.0 : 0.0;
+            wr_rho -= mask * alpha * 1.0;
+            wr_u -= mask * alpha * 0.0;
+            wr_p -= mask * alpha * 0.0;
+
+            sig0 = -nmin(lam_0, 0.0) * dtdx;
+            or_rho[o] = wr_rho;
+            or_u[o] = wr_u;
+            or_v[o] = iminus(el_v[k], er_v[k], v[k], sig0);
+            or_w[o] = iminus(el_w[k], er_w[k], w[k], sig0);
+            or_p[o] = wr_p;
+        }
+    }
+}
+
+void rk_chem_blend(long n_ch, long n_bins, long n_t, const double *logtab,
+    const int64_t *idx, const double *weight, double *out)
+{
+    for (long c = 0; c < n_ch; c++) {
+        const double *row = logtab + c * n_bins;
+        double *orow = out + c * n_t;
+        for (long j = 0; j < n_t; j++) {
+            double lo = row[idx[j]];
+            double hi = row[idx[j] + 1];
+            orow[j] = (hi - lo) * weight[j] + lo;
+        }
+    }
+}
+"""
+
+
+def _cache_dir() -> str:
+    d = os.environ.get("REPRO_KERNELS_CACHE")
+    if not d:
+        d = os.path.join(os.path.expanduser("~"), ".cache", "repro-kernels")
+    os.makedirs(d, exist_ok=True)
+    return d
+
+
+def _build_module():
+    """Compile (or reuse) the C extension; returns the imported module."""
+    import hashlib
+
+    from cffi import FFI
+
+    tag = hashlib.sha1((_CDEF + _CSOURCE).encode()).hexdigest()[:12]
+    modname = f"_repro_kernels_c_{tag}"
+    cache = _cache_dir()
+    if cache not in sys.path:
+        sys.path.insert(0, cache)
+    try:
+        return importlib.import_module(modname)
+    except ImportError:
+        pass
+
+    ffibuilder = FFI()
+    ffibuilder.cdef(_CDEF)
+    ffibuilder.set_source(
+        modname,
+        _CSOURCE,
+        # -ffp-contract=off: no FMA contraction (bitwise parity with the
+        # NumPy op sequence); -fno-math-errno: lets sqrt vectorise;
+        # -fopenmp-simd: honour the `#pragma omp simd` on the two-shock
+        # Newton sweep without pulling in the OpenMP runtime.  Never
+        # -ffast-math — it licenses reassociation and breaks parity.
+        extra_compile_args=["-O3", "-ffp-contract=off", "-fno-math-errno",
+                            "-fopenmp-simd"],
+    )
+    # build in a private tmpdir, then atomically publish the .so — two
+    # processes racing the first build both succeed
+    with tempfile.TemporaryDirectory(dir=cache) as build_dir:
+        so_path = ffibuilder.compile(tmpdir=build_dir, verbose=False)
+        target = os.path.join(cache, os.path.basename(so_path))
+        os.replace(so_path, target)
+    importlib.invalidate_caches()
+    return importlib.import_module(modname)
+
+
+_mod = _build_module()
+ffi = _mod.ffi
+_lib = _mod.lib
+
+
+def _p(arr):
+    return ffi.from_buffer("double[]", arr)
+
+
+def _pc(arr):
+    return ffi.from_buffer("double[]", arr, require_writable=False)
+
+
+class _CLoops:
+    """Namespace matching the _loops signatures, backed by the C library."""
+
+    @staticmethod
+    def two_shock(rho_l, u_l, v_l, w_l, p_l, rho_r, u_r, v_r, w_r, p_r,
+                  gamma, iterations, rtol, f0, f1, f2, f3, f4):
+        _lib.rk_two_shock(
+            rho_l.shape[0],
+            _pc(rho_l), _pc(u_l), _pc(v_l), _pc(w_l), _pc(p_l),
+            _pc(rho_r), _pc(u_r), _pc(v_r), _pc(w_r), _pc(p_r),
+            gamma, iterations, rtol,
+            _p(f0), _p(f1), _p(f2), _p(f3), _p(f4),
+        )
+
+    @staticmethod
+    def hllc(rho_l, u_l, v_l, w_l, p_l, rho_r, u_r, v_r, w_r, p_r,
+             gamma, f0, f1, f2, f3, f4):
+        _lib.rk_hllc(
+            rho_l.shape[0],
+            _pc(rho_l), _pc(u_l), _pc(v_l), _pc(w_l), _pc(p_l),
+            _pc(rho_r), _pc(u_r), _pc(v_r), _pc(w_r), _pc(p_r),
+            gamma,
+            _p(f0), _p(f1), _p(f2), _p(f3), _p(f4),
+        )
+
+    @staticmethod
+    def hll(rho_l, u_l, v_l, w_l, p_l, rho_r, u_r, v_r, w_r, p_r,
+            gamma, f0, f1, f2, f3, f4):
+        _lib.rk_hll(
+            rho_l.shape[0],
+            _pc(rho_l), _pc(u_l), _pc(v_l), _pc(w_l), _pc(p_l),
+            _pc(rho_r), _pc(u_r), _pc(v_r), _pc(w_r), _pc(p_r),
+            gamma,
+            _p(f0), _p(f1), _p(f2), _p(f3), _p(f4),
+        )
+
+    @staticmethod
+    def plm(q, ql, qr):
+        n, m = q.shape
+        _lib.rk_plm(n, m, _pc(q), _p(ql), _p(qr))
+
+    @staticmethod
+    def ppm(q, ql, qr, dq, qf):
+        n, m = q.shape
+        _lib.rk_ppm(n, m, _pc(q), _p(ql), _p(qr), _p(dq), _p(qf))
+
+    @staticmethod
+    def trace(rho, u, v, w, p,
+              el_rho, er_rho, el_u, er_u, el_v, er_v, el_w, er_w,
+              el_p, er_p, dtdx, gamma,
+              ol_rho, ol_u, ol_v, ol_w, ol_p,
+              or_rho, or_u, or_v, or_w, or_p):
+        n, m = rho.shape
+        _lib.rk_trace(
+            n, m,
+            _pc(rho), _pc(u), _pc(v), _pc(w), _pc(p),
+            _pc(el_rho), _pc(er_rho), _pc(el_u), _pc(er_u),
+            _pc(el_v), _pc(er_v), _pc(el_w), _pc(er_w),
+            _pc(el_p), _pc(er_p),
+            dtdx, gamma,
+            _p(ol_rho), _p(ol_u), _p(ol_v), _p(ol_w), _p(ol_p),
+            _p(or_rho), _p(or_u), _p(or_v), _p(or_w), _p(or_p),
+        )
+
+    @staticmethod
+    def chem_blend(logtab, idx, weight, out):
+        n_ch, n_bins = logtab.shape
+        n_t = idx.shape[0]
+        idx64 = np.ascontiguousarray(idx, dtype=np.int64)
+        _lib.rk_chem_blend(
+            n_ch, n_bins, n_t, _pc(logtab),
+            ffi.from_buffer("int64_t[]", idx64, require_writable=False),
+            _pc(weight), _p(out),
+        )
+
+
+for _kname, _impl in _wrap.make_impls(_CLoops).items():
+    dispatch.register("cffi", _kname, _impl)

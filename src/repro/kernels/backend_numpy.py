@@ -1,0 +1,23 @@
+"""The reference backend: registers the vectorised NumPy hot-path functions.
+
+This is not a reimplementation — the registry entries *are* the original
+functions from :mod:`repro.hydro` and :mod:`repro.chemistry`, so selecting
+``REPRO_KERNELS=numpy`` (the default) runs byte-for-byte the code the repo
+has always run.  Compiled backends are parity-gated against these.
+"""
+
+from __future__ import annotations
+
+from repro.chemistry import rates as _rates
+from repro.hydro import reconstruction as _reconstruction
+from repro.hydro import riemann as _riemann
+from repro.hydro import tracing as _tracing
+from repro.kernels import dispatch
+
+dispatch.register("numpy", "riemann.two_shock", _riemann.two_shock_flux)
+dispatch.register("numpy", "riemann.hllc", _riemann.hllc_flux)
+dispatch.register("numpy", "riemann.hll", _riemann.hll_flux)
+dispatch.register("numpy", "reconstruct.ppm", _reconstruction.ppm_reconstruct)
+dispatch.register("numpy", "reconstruct.plm", _reconstruction.plm_reconstruct)
+dispatch.register("numpy", "trace.states", _tracing.trace_states_numpy)
+dispatch.register("numpy", "chem.blend", _rates.blend_table_numpy)

@@ -16,6 +16,9 @@ Step record schema (all numbers JSON-native)::
               "imbalance": {"0": 1.0, "1": 1.18}},
      "chemistry": {"tasks": 9, "cells": 36864, "substeps_total": 112640,
                    "substeps_max": 57, "active_fraction_mean": 0.23},
+     "kernels": {"backend": "cffi",
+                 "per_kernel": {"riemann.hllc": {"calls": 96,
+                                                 "seconds": 0.031}, ...}},
      "rebuild": {"created": 12, "destroyed": 9, "reused": 480,
                  "reuse_rate": 0.9756},
      "wall": ...}
@@ -30,6 +33,13 @@ aggregates the active-set integrator's per-grid diagnostics over the
 root step: total/maximum substep counts and the cell-weighted mean
 fraction of cells still active per substep iteration (lower = more cells
 converging early and dropping out of the integration).
+
+The ``kernels`` block (present once any registered inner-loop kernel has
+run this step) reports which :mod:`repro.kernels` backend tier executed
+the hydro/chemistry inner loops plus per-kernel call counts and
+CPU-seconds (worker-process time merged in, so the seconds can exceed
+the step's wall time) — the live answer to "is the compiled tier
+actually running?".
 
 The ``rebuild`` block (present once the hierarchy has rebuilt at least
 once) counts the root step's grid churn: ``created``/``destroyed`` are
@@ -120,6 +130,9 @@ def step_record(evolver, step: int, dt: float) -> dict:
         snap = rebuild_stats()
         if snap is not None:
             record["rebuild"] = snap
+    kernel_stats = getattr(evolver, "last_kernel_stats", None)
+    if kernel_stats is not None and kernel_stats.get("per_kernel"):
+        record["kernels"] = kernel_stats
     defense = getattr(evolver, "defense", None)
     if defense is not None:
         snap = defense.snapshot()
@@ -265,10 +278,14 @@ def format_events(events: list[dict]) -> str:
             levels = e.get("levels", [])
             grids = sum(l["grids"] for l in levels)
             zbit = f" z={e['z']:.2f}" if "z" in e else ""
+            kern = e.get("kernels", {})
+            kbit = (f"  kernels={kern['backend']}"
+                    if kern.get("backend") else "")
             lines.append(
                 f"step {e.get('step', '?'):>6}  t={e.get('t', 0.0):.6g}  "
                 f"dt={e.get('dt', 0.0):.3g}{zbit}  levels={len(levels)}  "
                 f"grids={grids}  max_rho={e.get('max_density', 0.0):.4g}"
+                f"{kbit}"
             )
         elif kind == "checkpoint":
             lines.append(

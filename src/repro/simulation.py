@@ -54,6 +54,11 @@ class SimulationConfig:
     #: None resolves from REPRO_EXEC_BACKEND / REPRO_WORKERS (see repro.exec)
     exec_backend: str | None = None
     workers: int | None = None
+    #: kernel tier for the hydro/chemistry inner loops
+    #: ('numpy' | 'numba' | 'cffi' | 'auto'); None resolves from
+    #: REPRO_KERNELS (default numpy).  An unavailable compiled backend
+    #: degrades to numpy with a warning (see repro.kernels)
+    kernels: str | None = None
     #: in-step defense ladder (see docs/ROBUSTNESS.md); False disables the
     #: per-grid validation/rescue machinery entirely
     defense: bool = True
@@ -83,6 +88,10 @@ class Simulation:
                  friedmann=None):
         self.config = config or SimulationConfig()
         c = self.config
+        if c.kernels is not None:
+            from repro import kernels as _kernels
+
+            _kernels.set_backend(c.kernels)
         advected = tuple(c.advected)
         if c.n_scalars:
             from repro.hydro.state import scalar_names
