@@ -163,6 +163,26 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_chk_verify(args) -> int:
+    from repro.io.checkpoint import verify_run_dir
+
+    report = verify_run_dir(args.dir, quarantine=args.quarantine,
+                            strict=args.strict)
+    if not report["checked"]:
+        print(f"no checkpoint pairs in {args.dir}")
+        return 0
+    for entry in report["checked"]:
+        line = f"chk_{entry['step']:07d}  {entry['status']}"
+        if entry["detail"]:
+            line += f"  ({entry['detail']})"
+        print(line)
+    n_bad = len(report["corrupt"])
+    print(f"{len(report['checked'])} pair(s) checked, {n_bad} corrupt"
+          + (f", {len(report['quarantined'])} quarantined"
+             if args.quarantine else ""))
+    return 1 if n_bad else 0
+
+
 def _print_run_summary(out: dict) -> None:
     print(f"status = {out['status']}  steps = {out['steps']}  "
           f"t = {out['t']:.6g}  recoveries = {out['recoveries']}  "
@@ -375,11 +395,21 @@ def _load_spec_arg(args) -> dict:
 
 
 def cmd_service_start(args) -> int:
+    from repro.runtime.supervision import SupervisionPolicy
     from repro.service import RunService
 
+    if args.no_supervision:
+        supervision = False
+    else:
+        supervision = SupervisionPolicy(
+            deadline_ceiling=args.stall_ceiling,
+            grace_seconds=args.stall_grace,
+            max_strikes=args.max_strikes,
+        )
     service = RunService(args.root, total_workers=args.workers,
                          launcher=args.launcher,
-                         tick_interval=args.tick_interval)
+                         tick_interval=args.tick_interval,
+                         supervision=supervision)
     print(f"run service on {args.root}: {args.workers} workers, "
           f"{args.launcher} launcher (ctrl-c or 'repro service stop' "
           f"to shut down)")
@@ -412,16 +442,24 @@ def cmd_service_ps(args) -> int:
     workers = reply["workers"]
     print(f"workers: {workers['in_use']}/{workers['total']} in use")
     header = (f"{'RUN':<9}{'STATE':<11}{'TENANT':<12}{'PRI':>4}"
-              f"{'WRK':>4}{'ATT':>4}{'PRE':>4}  NOTE")
+              f"{'WRK':>4}{'ATT':>4}{'PRE':>4}{'POS':>4}{'ETA':>8}"
+              f"{'HB':>7}  NOTE")
     print(header)
     for entry in reply["runs"]:
         note = entry.get("note", "")
-        if entry.get("eta_seconds") is not None:
-            note = (note + f" eta~{entry['eta_seconds']}s").strip()
+        pos = entry.get("queue_position")
+        eta = entry.get("eta_seconds")
+        age = entry.get("heartbeat_age_seconds")
+        if entry.get("held_seconds") is not None:
+            note = (note + f" held {entry['held_seconds']}s").strip()
         print(f"{entry['run']:<9}{entry['state']:<11}"
               f"{entry['tenant']:<12}{entry['priority']:>4}"
               f"{entry['workers']:>4}{entry['attempts']:>4}"
-              f"{entry['preemptions']:>4}  {note}")
+              f"{entry['preemptions']:>4}"
+              f"{pos if pos is not None else '-':>4}"
+              f"{f'{eta:.0f}s' if eta is not None else '-':>8}"
+              f"{f'{age:.1f}s' if age is not None else '-':>7}"
+              f"  {note}")
     return 0
 
 
@@ -562,6 +600,21 @@ def main(argv=None) -> int:
     p.set_defaults(fn=cmd_inspect)
 
     p = sub.add_parser(
+        "chk", help="checkpoint maintenance (see docs/RUNTIME.md)")
+    chk = p.add_subparsers(dest="chk_command", required=True)
+    q = chk.add_parser(
+        "verify", help="scrub a run directory's checkpoint pairs against "
+                       "their sha256 sidecars")
+    q.add_argument("dir", help="run directory")
+    q.add_argument("--quarantine", action="store_true",
+                   help="rename corrupt pairs out of recovery's sight "
+                        "(*.quarantine) instead of just reporting them")
+    q.add_argument("--strict", action="store_true",
+                   help="treat a missing digest sidecar as a failure "
+                        "(pre-digest checkpoints pass by default)")
+    q.set_defaults(fn=cmd_chk_verify)
+
+    p = sub.add_parser(
         "run", help="a registered problem under fault-tolerant run control "
                     "(default: primordial collapse)")
     p.add_argument("--problem", default="collapse",
@@ -653,6 +706,15 @@ def main(argv=None) -> int:
                         "default) or daemon threads")
     q.add_argument("--tick-interval", type=float, default=0.05,
                    help="seconds between scheduling rounds")
+    q.add_argument("--no-supervision", action="store_true",
+                   help="disable external stall/budget enforcement")
+    q.add_argument("--stall-ceiling", type=float, default=900.0,
+                   help="max seconds without a heartbeat before a run "
+                        "is drained as stalled (see docs/ROBUSTNESS.md)")
+    q.add_argument("--stall-grace", type=float, default=10.0,
+                   help="seconds between the soft drain and the hard kill")
+    q.add_argument("--max-strikes", type=int, default=3,
+                   help="stall strikes before a run is quarantined")
     q.set_defaults(fn=cmd_service_start)
 
     q = svc.add_parser("submit", help="queue a run spec")

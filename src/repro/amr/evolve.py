@@ -41,6 +41,7 @@ from repro.kernels import dispatch as kernel_dispatch
 from repro.nbody.cic import cic_deposit
 from repro.precision.doubledouble import DoubleDouble
 from repro.runtime.faults import active as _active_faults
+from repro.runtime.faults import maybe_sleep as _maybe_sleep_fault
 
 
 class StaticClock:
@@ -184,6 +185,10 @@ class HierarchyEvolver:
         #: (substep counts, active-set occupancy); snapshotted by telemetry
         self.chem_stats = ChemistryStepStats()
         self.step_counter = defaultdict(int)
+        #: optional liveness callback — called with the section name at
+        #: every timed sub-step boundary (the RunController points this at
+        #: its HeartbeatWriter so the daemon can tell "slow" from "hung")
+        self.phase_hook = None
         if timers is not None:
             # let the hierarchy attribute its cache rebuilds to "topology"
             hierarchy.timers = timers
@@ -308,6 +313,13 @@ class HierarchyEvolver:
         if inj is not None:
             # publish the step context in-step fault specs match against
             inj.set_step(level, self.step_counter[level])
+            # injected liveness faults: a worker wedged mid-step (hang) or
+            # merely dragging (slow_step) — sleeps happen between phase
+            # beats so only the daemon-side supervisor can catch a hang
+            _maybe_sleep_fault("hang", level=level,
+                               step=self.step_counter[level])
+            _maybe_sleep_fault("slow_step", level=level,
+                               step=self.step_counter[level])
         time_now = grids[0].time
         a = self.clock.a_of(time_now)
         adot = self.clock.adot_of(time_now)
@@ -575,6 +587,8 @@ class HierarchyEvolver:
 
     # ---------------------------------------------------------------- timers
     def _timed(self, section: str, fn, *args):
+        if self.phase_hook is not None:
+            self.phase_hook(section)
         if self.timers is None:
             return fn(*args)
         with self.timers.section(section):

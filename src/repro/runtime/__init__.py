@@ -15,6 +15,9 @@ per-cycle logs an operator can tail.  This package is that layer:
   reduced-CFL retry schedule.
 * :mod:`repro.runtime.telemetry` — the event stream and the monitor API
   (``summarise``, ``read_events``) behind ``python -m repro tail``.
+* :mod:`repro.runtime.supervision` — heartbeat sidecars plus the
+  daemon-side staleness/budget escalation ladder (see
+  ``docs/ROBUSTNESS.md``).
 """
 
 from repro.runtime import faults
@@ -31,6 +34,14 @@ from repro.runtime.recovery import (
     SignalGuard,
     StateCorruptionError,
     Watchdog,
+)
+from repro.runtime.supervision import (
+    HeartbeatWriter,
+    SupervisionPolicy,
+    Supervisor,
+    heartbeat_age,
+    heartbeat_path,
+    read_heartbeat,
 )
 from repro.runtime.telemetry import (
     JsonlFollower,
@@ -60,6 +71,12 @@ __all__ = [
     "telemetry_path",
     "serialize_rng_state",
     "restore_rng_state",
+    "HeartbeatWriter",
+    "Supervisor",
+    "SupervisionPolicy",
+    "heartbeat_age",
+    "heartbeat_path",
+    "read_heartbeat",
 ]
 
 

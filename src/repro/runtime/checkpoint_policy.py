@@ -15,6 +15,7 @@ uses the first one that still loads.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -25,6 +26,58 @@ import numpy as np
 STATE_FORMAT_VERSION = 1
 
 _CHK_RE = re.compile(r"^chk_(\d+)\.json$")
+
+DIGEST_SUFFIX = ".sha256"
+
+
+def digest_path(path: str) -> str:
+    """The sha256 sidecar next to a checkpoint half (npz or state json)."""
+    return str(path) + DIGEST_SUFFIX
+
+
+def file_sha256(path: str) -> str:
+    """Streamed sha256 hex digest of a file's bytes."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def write_digest(path: str) -> str:
+    """Hash ``path`` and atomically write its ``.sha256`` sidecar.
+
+    Written inside the same atomic-replace protocol as the checkpoint
+    halves themselves (temp + fsync + ``os.replace``), *after* the data
+    file is durably in place — so a sidecar never vouches for bytes that
+    were not fully written.  Returns the hex digest.
+    """
+    digest = file_sha256(path)
+    _atomic_write_text(
+        digest_path(path),
+        f"{digest}  {os.path.basename(path)}\n",
+    )
+    return digest
+
+
+def verify_digest(path: str, missing_ok: bool = True) -> bool:
+    """Re-hash ``path`` against its sidecar; False means corruption.
+
+    A missing sidecar verifies (``missing_ok``) by default so checkpoint
+    pairs written before digests existed stay loadable; pass
+    ``missing_ok=False`` for strict scrubs.
+    """
+    try:
+        with open(digest_path(path), encoding="utf-8") as fh:
+            expected = fh.read().split()[0]
+    except OSError:
+        return missing_ok
+    except IndexError:
+        return False  # torn/empty sidecar vouches for nothing
+    try:
+        return file_sha256(path) == expected
+    except OSError:
+        return False
 
 
 def _atomic_write_text(path: str, text: str) -> None:
@@ -218,7 +271,7 @@ class CheckpointPolicy:
         for step, npz, state in pairs[: max(0, len(pairs) - self.keep_last)]:
             if pin is not None and step == pin:
                 continue
-            for path in (npz, state):
+            for path in (npz, state, digest_path(npz), digest_path(state)):
                 try:
                     os.remove(path)
                 except FileNotFoundError:

@@ -42,11 +42,18 @@ from repro.io.checkpoint import (
     save_hierarchy,
 )
 from repro.precision.doubledouble import DoubleDouble
-from repro.runtime.faults import take as _take_fault
+from repro.runtime.faults import (
+    apply_checkpoint_bitflip as _apply_bitflip,
+    maybe_sleep as _sleep_fault,
+    take as _take_fault,
+)
 from repro.runtime.checkpoint_policy import (
     CheckpointPolicy,
     RunState,
+    digest_path,
     restore_rng_state,
+    verify_digest,
+    write_digest,
 )
 from repro.runtime.recovery import (
     NonFiniteStateError,
@@ -55,6 +62,7 @@ from repro.runtime.recovery import (
     SignalGuard,
     Watchdog,
 )
+from repro.runtime.supervision import HeartbeatWriter
 from repro.runtime.telemetry import (
     TelemetryWriter,
     step_record,
@@ -108,6 +116,9 @@ class RunController:
         self._drain = threading.Event()
         self._drain_reason: str | None = None
         self.telemetry: TelemetryWriter | None = None
+        #: liveness sidecar (repro.runtime.supervision); the service
+        #: daemon reads it every tick to judge staleness externally
+        self.heartbeat: HeartbeatWriter | None = None
 
     # ---------------------------------------------------------------- drain
     def request_drain(self, reason: str = "drain") -> None:
@@ -131,6 +142,28 @@ class RunController:
     def hierarchy(self):
         return self.evolver.hierarchy
 
+    # ------------------------------------------------------------ heartbeat
+    def _start_heartbeat(self, phase: str) -> None:
+        """Create the liveness sidecar and hook sub-step phase beats.
+
+        Heartbeats never touch simulation state — a supervised run is
+        bitwise identical to an unsupervised one; they only make its
+        progress externally observable.
+        """
+        self.heartbeat = HeartbeatWriter(self.run_dir)
+        self.heartbeat.beat(step=self.step, phase=phase, force=True)
+        if hasattr(self.evolver, "phase_hook"):
+            self.evolver.phase_hook = self._phase_beat
+
+    def _phase_beat(self, section: str) -> None:
+        """Rate-limited beat at an evolver sub-step phase boundary."""
+        if self.heartbeat is not None:
+            self.heartbeat.beat(phase=section)
+
+    def _beat(self, phase: str) -> None:
+        if self.heartbeat is not None:
+            self.heartbeat.beat(step=self.step, phase=phase, force=True)
+
     # -------------------------------------------------------------- control
     def run(self, t_end: float, max_root_steps: int | None = None) -> dict:
         """Fresh start: checkpoint the initial state, then advance."""
@@ -139,6 +172,7 @@ class RunController:
         self.max_root_steps = max_root_steps
         self.step = 0
         self.telemetry = TelemetryWriter(telemetry_path(self.run_dir))
+        self._start_heartbeat("start")
         self.telemetry.emit("start", t_end=self.t_end,
                             max_root_steps=max_root_steps,
                             config=self.config)
@@ -147,7 +181,11 @@ class RunController:
 
     def resume(self, max_root_steps: int | None = None,
                t_end: float | None = None) -> dict:
-        """Continue from the newest loadable checkpoint in ``run_dir``."""
+        """Continue from the newest *verified* checkpoint in ``run_dir``."""
+        # telemetry first: _latest_loadable emits checkpoint_rejected
+        # events for any pair it has to skip over
+        self.telemetry = TelemetryWriter(telemetry_path(self.run_dir))
+        self._start_heartbeat("resume")
         step, hierarchy, state = self._latest_loadable()
         self._install(hierarchy, state)
         # rotation must never delete the pair we just restarted from until
@@ -162,7 +200,6 @@ class RunController:
         self.recoveries = int(state.recoveries)
         if state.config and not self.config:
             self.config = dict(state.config)
-        self.telemetry = TelemetryWriter(telemetry_path(self.run_dir))
         self.telemetry.emit("resume", step=self.step, t=float(state.t_hi),
                             t_end=self.t_end,
                             max_root_steps=self.max_root_steps)
@@ -184,6 +221,7 @@ class RunController:
                     break
                 if self.pre_step is not None:
                     self.pre_step(self)
+                self._beat("root_step")
                 try:
                     dt = ev.advance_root_step(self.t_end)
                     if dt is not None:
@@ -197,6 +235,7 @@ class RunController:
                 self.step += 1
                 if self.step > self._highest_failed_step:
                     self._retries = 0
+                self._beat("step_done")
                 self.telemetry.emit("step", **step_record(ev, self.step, dt))
                 self._drain_defense(self.step)
                 if self.policy.due(self.step):
@@ -217,6 +256,7 @@ class RunController:
                 summary["signal"] = guard.triggered
             if self._drain.is_set() and self._drain_reason is not None:
                 summary["drain"] = self._drain_reason
+            self._beat(f"exit:{status}")
             self.telemetry.emit(
                 "interrupted" if status == "interrupted" else "finish",
                 **summary,
@@ -234,19 +274,30 @@ class RunController:
 
     # ----------------------------------------------------------- checkpoint
     def _checkpoint(self) -> str:
-        """Write the (hierarchy, RunState) pair for the current step."""
+        """Write the (hierarchy, RunState) pair + sha256 sidecars."""
         data_path = self.policy.data_path(self.run_dir, self.step)
         if self._last_checkpoint_step == self.step:
             return data_path  # already durable for this step
         state_path = self.policy.state_path(self.run_dir, self.step)
+        self._beat("checkpoint")
+        # injected dead-storage stall: the write blocks and the heartbeat
+        # goes stale, which is how the daemon's supervisor catches it
+        _sleep_fault("io_stall", step=self.step)
         save_hierarchy(self.evolver.hierarchy, data_path,
                        timers=self.evolver.timers)
+        # digest the *good* bytes before any injected post-write rot, so
+        # the corruption faults below are exactly what verification catches
+        write_digest(data_path)
         if _take_fault("checkpoint_truncate", step=self.step) is not None:
             # injected disk-full/torn-write: chop the npz in half so
             # recovery must skip this pair and fall back to an older one
             size = os.path.getsize(data_path)
             with open(data_path, "r+b") as fh:
                 fh.truncate(max(size // 2, 1))
+        if _take_fault("checkpoint_bitflip", step=self.step) is not None:
+            # injected silent corruption: the npz still loads cleanly;
+            # only the digest sidecar can tell it has rotted
+            _apply_bitflip(data_path)
         state = RunState.capture(
             self.evolver,
             step=self.step,
@@ -257,6 +308,7 @@ class RunController:
             recoveries=self.recoveries,
         )
         state.save(state_path)
+        write_digest(state_path)
         self._last_checkpoint_step = self.step
         if self._resume_anchor is not None and self.step > self._resume_anchor:
             self._resume_anchor = None  # a newer durable pair supersedes it
@@ -268,15 +320,36 @@ class RunController:
         return data_path
 
     def _latest_loadable(self) -> tuple[int, object, RunState]:
-        """Newest checkpoint pair that still loads (skips corrupt ones)."""
+        """Newest checkpoint pair that verifies and loads (skips corrupt ones).
+
+        Digest verification runs first: a bitflipped npz still loads
+        cleanly, so the sha256 sidecars are the only thing standing
+        between silent corruption and a poisoned trajectory.  Pairs
+        written before digests existed (no sidecar) verify by default.
+        """
         pairs = CheckpointPolicy.list_checkpoints(self.run_dir)
         last_error: Exception | None = None
         for step, npz, state_path in reversed(pairs):
+            bad = None
+            if not verify_digest(npz):
+                bad = os.path.basename(npz)
+            elif not verify_digest(state_path):
+                bad = os.path.basename(state_path)
+            if bad is not None:
+                last_error = CheckpointError(f"digest mismatch: {bad}")
+                if self.telemetry is not None:
+                    self.telemetry.emit("checkpoint_rejected", step=step,
+                                        path=bad, reason="digest_mismatch")
+                continue
             try:
                 hierarchy = load_hierarchy(npz, timers=self.evolver.timers)
                 state = RunState.load(state_path)
             except (CheckpointError, OSError, ValueError) as exc:
                 last_error = exc
+                if self.telemetry is not None:
+                    self.telemetry.emit("checkpoint_rejected", step=step,
+                                        path=os.path.basename(npz),
+                                        reason=str(exc))
                 continue
             return step, hierarchy, state
         raise CheckpointError(
@@ -336,7 +409,8 @@ class RunController:
         for s, npz, state_path in CheckpointPolicy.list_checkpoints(
                 self.run_dir):
             if s > step:
-                for path in (npz, state_path):
+                for path in (npz, state_path,
+                             digest_path(npz), digest_path(state_path)):
                     try:
                         os.remove(path)
                     except OSError:

@@ -28,6 +28,23 @@ Fault kinds
 ``checkpoint_truncate``
     Truncate the checkpoint npz written for a matching root step, so
     recovery must skip it and fall back to an older checkpoint.
+``hang``
+    Block inside a level step for ``seconds`` (default: an hour) —
+    a deadlocked worker.  The controller's SIGINT drain cannot interrupt
+    it (the signal handler only sets a flag and ``time.sleep`` resumes),
+    which is exactly why the service daemon's supervisor escalates from
+    soft drain to hard kill (see :mod:`repro.runtime.supervision`).
+``slow_step``
+    Inject a per-step delay of ``seconds`` (default 0.25) — degraded
+    hardware.  Purely timing: results stay bitwise identical.
+``io_stall``
+    Block the checkpoint write for ``seconds`` (default: an hour) —
+    dead or hung storage.
+``checkpoint_bitflip``
+    Silently corrupt one float64 payload bit of the checkpoint written
+    for a matching root step.  The corrupted npz is *re-encoded*, so it
+    still loads cleanly without digest verification — the failure mode
+    sha256 sidecars exist to catch.
 
 Configuration
 -------------
@@ -60,12 +77,16 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 ENV_FAULTS = "REPRO_FAULTS"
 ENV_FAULTS_SEED = "REPRO_FAULTS_SEED"
+#: RUNNING-episode number (1-based) the launcher exports so specs can be
+#: scoped to a single attempt ("hang only the first episode")
+ENV_FAULT_ATTEMPT = "REPRO_FAULT_ATTEMPT"
 
 #: fault kinds the hooks understand (parse-time validation)
 FAULT_KINDS = (
@@ -74,7 +95,20 @@ FAULT_KINDS = (
     "chem_blowup",
     "worker_kill",
     "checkpoint_truncate",
+    "hang",
+    "slow_step",
+    "io_stall",
+    "checkpoint_bitflip",
 )
+
+#: default sleep payloads for the timing faults (seconds); a ``hang`` or
+#: ``io_stall`` without an explicit duration blocks long enough that only
+#: external supervision ends the run
+DEFAULT_SLEEP_SECONDS = {
+    "hang": 3600.0,
+    "io_stall": 3600.0,
+    "slow_step": 0.25,
+}
 
 
 class InjectedFaultError(RuntimeError):
@@ -92,8 +126,14 @@ class FaultSpec:
 
     ``level``/``grid_id``/``step`` of ``None`` match any value; ``step`` is
     the *per-level* step counter for in-step faults and the root-step
-    number for controller-level faults (``checkpoint_truncate``).
+    number for controller-level faults (``checkpoint_truncate``,
+    ``io_stall``, ``checkpoint_bitflip``).
     ``count`` is the total number of firings before the spec goes inert.
+    ``seconds`` is the sleep payload for the timing faults (``hang``,
+    ``slow_step``, ``io_stall``).  ``attempt`` pins the spec to one
+    RUNNING-episode number (the launcher exports ``REPRO_FAULT_ATTEMPT``),
+    so a chaos test can hang the first episode and let the supervised
+    requeue-and-resume run clean.
     """
 
     kind: str
@@ -101,6 +141,8 @@ class FaultSpec:
     grid_id: int | None = None
     step: int | None = None
     count: int = 1
+    seconds: float | None = None
+    attempt: int | None = None
     remaining: int = field(init=False)
 
     def __post_init__(self):
@@ -133,12 +175,18 @@ class FaultInjector:
     order-independent RNG per firing.
     """
 
-    def __init__(self, specs=(), seed: int | None = None):
+    def __init__(self, specs=(), seed: int | None = None,
+                 attempt: int | None = None):
         self.specs = list(specs)
         if seed is None:
             env = os.environ.get(ENV_FAULTS_SEED, "").strip()
             seed = int(env) if env else 0
         self.seed = int(seed)
+        if attempt is None:
+            env = os.environ.get(ENV_FAULT_ATTEMPT, "").strip()
+            attempt = int(env) if env else None
+        #: RUNNING-episode number attempt-scoped specs match against
+        self.attempt = attempt
         #: (kind, level, grid_id) -> number of firings so far
         self.site_fires: dict[tuple, int] = {}
         #: every firing, in order, for test assertions
@@ -163,6 +211,8 @@ class FaultInjector:
             step = self._step_ctx.get(int(level))
         with self._lock:
             for spec in self.specs:
+                if spec.attempt is not None and spec.attempt != self.attempt:
+                    continue
                 if spec.kind == kind and spec.matches(level, grid_id, step):
                     spec.remaining -= 1
                     site = (kind, level, grid_id)
@@ -174,6 +224,7 @@ class FaultInjector:
                         "grid_id": grid_id,
                         "step": step,
                         "fire_index": fire_index,
+                        "seconds": spec.seconds,
                     }
                     self.fired.append(record)
                     return record
@@ -239,9 +290,10 @@ def parse_spec(text: str) -> list[FaultSpec]:
     """Parse the compact CLI/env fault syntax.
 
     ``kind[:key=value,...]`` tokens joined by ``;`` — keys are ``level``,
-    ``grid``, ``step``, ``count``.  Example::
+    ``grid``, ``step``, ``count``, ``attempt`` (ints) and ``seconds``
+    (float, for the timing faults).  Example::
 
-        nan_cell:level=1,grid=3,step=2,count=4;mg_diverge:level=1
+        nan_cell:level=1,grid=3,step=2,count=4;hang:step=3,seconds=60,attempt=1
     """
     specs: list[FaultSpec] = []
     for token in text.split(";"):
@@ -253,9 +305,12 @@ def parse_spec(text: str) -> list[FaultSpec]:
         for item in filter(None, (p.strip() for p in rest.split(","))):
             key, _, value = item.partition("=")
             key = {"grid": "grid_id"}.get(key.strip(), key.strip())
-            if key not in ("level", "grid_id", "step", "count"):
+            if key == "seconds":
+                kwargs[key] = float(value)
+            elif key in ("level", "grid_id", "step", "count", "attempt"):
+                kwargs[key] = int(value)
+            else:
                 raise ValueError(f"unknown fault spec key {key!r} in {token!r}")
-            kwargs[key] = int(value)
         specs.append(FaultSpec(kind.strip(), **kwargs))
     return specs
 
@@ -276,11 +331,55 @@ def maybe_raise(kind: str, level=None, grid_id=None) -> None:
         raise InjectedFaultError(kind, (level, grid_id, fire.get("step")))
 
 
+def maybe_sleep(kind: str, level=None, grid_id=None, step=None):
+    """Sleep out a matching timing fault (``hang``/``slow_step``/
+    ``io_stall``); returns the fire record, or ``None`` if nothing fired.
+    """
+    fire = take(kind, level=level, grid_id=grid_id, step=step)
+    if fire is not None:
+        seconds = fire.get("seconds")
+        if seconds is None:
+            seconds = DEFAULT_SLEEP_SECONDS.get(kind, 1.0)
+        time.sleep(float(seconds))
+    return fire
+
+
 def plan_nan_cell(level, grid_id, interior_shape, nghost: int):
     inj = active()
     if inj is None:
         return None
     return inj.plan_nan_cell(level, grid_id, interior_shape, nghost)
+
+
+def apply_checkpoint_bitflip(path: str) -> dict:
+    """Silently corrupt one payload bit of a saved npz checkpoint.
+
+    Flipping raw file bytes would be caught by the zip CRC long before
+    any digest check, so this models the scarier failure: the npz is
+    decoded, one mantissa bit of the first float64 array's first element
+    is flipped, and the file is re-encoded in place.  The result loads
+    cleanly and carries silently-wrong physics — detectable only by the
+    sha256 sidecar written over the original bytes.  Deterministic:
+    same file, same corruption.
+    """
+    with np.load(path) as data:
+        arrays = {key: np.array(data[key]) for key in data.files}
+    target = None
+    for key in sorted(arrays):
+        arr = arrays[key]
+        if arr.dtype == np.float64 and arr.size > 0:
+            target = key
+            break
+    if target is None:
+        raise ValueError(f"no float64 payload to corrupt in {path!r}")
+    flat = arrays[target].reshape(-1)
+    bits = flat.view(np.uint64)
+    bits[0] ^= np.uint64(1) << np.uint64(51)  # high mantissa bit
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+    os.replace(tmp, path)
+    return {"path": path, "array": target, "bit": 51}
 
 
 def apply_nan_cell(fields, plan: dict | None) -> None:

@@ -1,0 +1,248 @@
+"""Run supervision: heartbeats, staleness deadlines, the escalation ladder.
+
+The PR-5 defense ladder and PR-2 watchdog handle *wrong values*; nothing
+below this module handles *absence of progress* — a worker deadlocked in
+a step, a checkpoint write stalled on dead storage, a controller whose
+own accounting is wedged.  This module makes liveness externally
+observable and externally enforced:
+
+* :class:`HeartbeatWriter` — the controller's side.  Writes a small,
+  monotonically-sequenced JSON record (step, sub-step phase, wall-clock,
+  rss) to ``<run_dir>/heartbeat.json`` after every root step and at
+  sub-step phase boundaries.  Each write is a temp-file +
+  ``os.replace``, so a concurrent reader sees either the previous record
+  or the new one, never a torn file.  No fsync: a heartbeat needs
+  atomicity, not durability — a lost-on-crash heartbeat is indistinguishable
+  from a crashed run, which is exactly what it should look like.
+* :func:`read_heartbeat` — the daemon's side; tolerant of a missing or
+  mid-replace file (returns ``None``).
+* :class:`SupervisionPolicy` — deadline derivation (a configurable
+  multiple of the measured per-step cost, clamped to a floor/ceiling),
+  the kill grace period, the strike budget, and the exponential
+  requeue backoff.
+* :class:`Supervisor` — the daemon-side state machine.  Progress is
+  judged by *observed sequence-number changes on the daemon's own
+  monotonic clock*, never by trusting the worker's timestamps, so a
+  worker with a wedged clock is still caught.  One
+  :meth:`Supervisor.check` call per tick per RUNNING run returns the
+  next escalation action: ``("drain", info)`` at the staleness deadline
+  (soft SIGINT drain-to-checkpoint), then ``("kill", info)`` once the
+  grace period expires without the drain landing.  Strike accounting and
+  requeue-vs-quarantine live in the daemon (they are registry
+  transitions); the policy math lives here.
+
+See ``docs/ROBUSTNESS.md`` for the full escalation ladder.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+
+HEARTBEAT_NAME = "heartbeat.json"
+
+
+def heartbeat_path(run_dir: str) -> str:
+    return os.path.join(str(run_dir), HEARTBEAT_NAME)
+
+
+def _rss_kb() -> int | None:
+    """Resident set size of this process in kB (None where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # non-unix
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+class HeartbeatWriter:
+    """Atomic, rate-limited heartbeat sidecar for one run directory.
+
+    ``beat(force=True)`` always writes (root-step boundaries, lifecycle
+    moments); unforced beats (sub-step phase boundaries, which can fire
+    thousands of times per root step on a deep hierarchy) are dropped
+    unless ``min_interval`` seconds have passed since the last write, so
+    heartbeating never becomes measurable I/O load.
+
+    The sequence number continues from whatever record is already on
+    disk, so the daemon sees one monotonic sequence across build →
+    episode → resume-episode writer hand-offs.
+    """
+
+    def __init__(self, run_dir: str, min_interval: float = 0.25):
+        self.path = heartbeat_path(run_dir)
+        os.makedirs(str(run_dir), exist_ok=True)
+        self.min_interval = float(min_interval)
+        self._step = 0
+        self._phase = ""
+        self._last_write = 0.0
+        existing = read_heartbeat(run_dir)
+        self._seq = int(existing.get("seq", 0)) if existing else 0
+
+    def beat(self, step: int | None = None, phase: str | None = None,
+             force: bool = False, **extra) -> bool:
+        """Record liveness; returns True if a record was written."""
+        now = time.monotonic()
+        if not force and (now - self._last_write) < self.min_interval:
+            return False
+        if step is not None:
+            self._step = int(step)
+        if phase is not None:
+            self._phase = str(phase)
+        self._seq += 1
+        record = {
+            "seq": self._seq,
+            "step": self._step,
+            "phase": self._phase,
+            "wall": time.time(),
+            "pid": os.getpid(),
+            "rss_kb": _rss_kb(),
+        }
+        record.update(extra)
+        # atomic replace, no fsync: a reader must never see a torn record,
+        # but losing the very last beat in a crash is fine (and correct)
+        tmp = f"{self.path}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(record))
+        os.replace(tmp, self.path)
+        self._last_write = now
+        return True
+
+
+def read_heartbeat(run_dir: str) -> dict | None:
+    """The newest heartbeat record, or None (missing / unreadable)."""
+    try:
+        with open(heartbeat_path(run_dir), encoding="utf-8") as fh:
+            record = json.load(fh)
+    except (OSError, json.JSONDecodeError, ValueError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def heartbeat_age(record: dict | None, now: float | None = None) -> float | None:
+    """Seconds since the record's wall-clock stamp (display only — the
+    supervisor itself never trusts worker clocks)."""
+    if not record or "wall" not in record:
+        return None
+    if now is None:
+        now = time.time()
+    return max(float(now) - float(record["wall"]), 0.0)
+
+
+@dataclass
+class SupervisionPolicy:
+    """Tunables for the stall/budget escalation ladder.
+
+    The staleness deadline for a run is
+    ``clamp(deadline_multiplier × measured_per_step_seconds,
+    deadline_floor, deadline_ceiling)`` — and simply the ceiling before
+    any per-step cost has been measured.  The defaults are deliberately
+    generous: supervision exists to catch runs that are *hours* wrong,
+    and a false kill costs a full rollback-and-replay.
+    """
+
+    #: staleness allowance as a multiple of the measured per-step cost
+    deadline_multiplier: float = 10.0
+    #: never demand heartbeats faster than this (seconds)
+    deadline_floor: float = 30.0
+    #: never wait longer than this, measured cost or not (seconds)
+    deadline_ceiling: float = 900.0
+    #: seconds between the soft drain and the hard kill
+    grace_seconds: float = 10.0
+    #: stall strikes before the run is quarantined (FAILED reason=stalled)
+    max_strikes: int = 3
+    #: requeue backoff: min(base * 2^(strikes-1), cap) seconds
+    backoff_base: float = 1.0
+    backoff_cap: float = 60.0
+
+    def deadline(self, per_step_seconds: float | None) -> float:
+        if per_step_seconds is None or per_step_seconds <= 0.0:
+            return float(self.deadline_ceiling)
+        return min(
+            max(per_step_seconds * self.deadline_multiplier,
+                self.deadline_floor),
+            self.deadline_ceiling,
+        )
+
+    def backoff(self, strikes: int) -> float:
+        if strikes <= 0:
+            return 0.0
+        return min(self.backoff_base * 2.0 ** (strikes - 1),
+                   self.backoff_cap)
+
+
+class Supervisor:
+    """Per-run staleness tracking and the drain → kill escalation.
+
+    The clock is injectable so the escalation sequence is unit-testable
+    without sleeping.  All judgements use *this* process's monotonic
+    clock and the observation "did the heartbeat sequence number
+    change?", so neither a skewed worker clock nor a worker that keeps
+    rewriting an identical record can fake progress.
+    """
+
+    def __init__(self, policy: SupervisionPolicy | None = None,
+                 clock=time.monotonic):
+        self.policy = policy or SupervisionPolicy()
+        self.clock = clock
+        #: run_id -> {"seq", "step", "progress_at", "drain_at", "reason"}
+        self._tracks: dict[str, dict] = {}
+
+    def watch(self, run_id: str) -> None:
+        """Start (or restart) tracking a RUNNING episode."""
+        self._tracks[run_id] = {
+            "seq": None, "step": None,
+            "progress_at": self.clock(),
+            "drain_at": None, "reason": None, "killed": False,
+        }
+
+    def forget(self, run_id: str) -> None:
+        self._tracks.pop(run_id, None)
+
+    def staleness(self, run_id: str) -> float | None:
+        track = self._tracks.get(run_id)
+        if track is None:
+            return None
+        return self.clock() - track["progress_at"]
+
+    def check(self, run_id: str, heartbeat: dict | None,
+              deadline: float | None,
+              budget_reason: str | None = None):
+        """One supervision round for one RUNNING run.
+
+        Returns ``None`` (healthy, or already escalating within grace),
+        ``("drain", info)`` exactly once when the run crosses its
+        staleness deadline or a budget is exceeded, or ``("kill", info)``
+        exactly once when the grace period after the drain expires.
+        """
+        track = self._tracks.get(run_id)
+        if track is None:
+            self.watch(run_id)
+            track = self._tracks[run_id]
+        now = self.clock()
+        if heartbeat is not None and heartbeat.get("seq") != track["seq"]:
+            track["seq"] = heartbeat.get("seq")
+            track["step"] = heartbeat.get("step")
+            track["progress_at"] = now
+        stale = now - track["progress_at"]
+        if track["killed"]:
+            return None
+        if track["drain_at"] is not None:
+            if now - track["drain_at"] >= self.policy.grace_seconds:
+                track["killed"] = True
+                return ("kill", {"reason": track["reason"],
+                                 "stale_seconds": round(stale, 3)})
+            return None
+        reason = budget_reason
+        if reason is None and deadline is not None and stale > deadline:
+            reason = "stalled"
+        if reason is not None:
+            track["drain_at"] = now
+            track["reason"] = reason
+            info = {"reason": reason, "stale_seconds": round(stale, 3)}
+            if deadline is not None:
+                info["deadline"] = round(float(deadline), 3)
+            return ("drain", info)
+        return None

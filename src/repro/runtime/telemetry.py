@@ -291,6 +291,11 @@ def format_events(events: list[dict]) -> str:
             lines.append(
                 f"checkpoint @ step {e.get('step', '?')} -> {e.get('path')}"
             )
+        elif kind == "checkpoint_rejected":
+            lines.append(
+                f"CHECKPOINT REJECTED @ step {e.get('step', '?')}: "
+                f"{e.get('path')} ({e.get('reason')})"
+            )
         elif kind == "recovery":
             lines.append(
                 f"RECOVERY @ step {e.get('step', '?')}: {e.get('reason')} "

@@ -101,16 +101,23 @@ class ServiceClient:
         return self.request("shutdown")
 
     def wait(self, run_ids, timeout: float = 120.0,
-             poll_interval: float = 0.1) -> dict:
+             poll_interval: float = 0.1,
+             max_poll_interval: float = 2.0) -> dict:
         """Block until every listed run is terminal; returns id -> entry.
 
-        Raises :class:`ServiceError` on timeout with the still-live runs
-        named, so test failures point at the stuck run immediately.
+        Polls with exponential backoff from ``poll_interval`` (doubling
+        per round, capped at ``max_poll_interval``) so a long wait does
+        not hammer the daemon socket.  Raises :class:`ServiceError` on
+        timeout naming each still-live run with its state and last
+        heartbeat age, so a stuck run is diagnosable from the error
+        alone.
         """
         if isinstance(run_ids, str):
             run_ids = [run_ids]
         wanted = list(run_ids)
         deadline = time.monotonic() + float(timeout)
+        interval = max(float(poll_interval), 1e-3)
+        cap = max(float(max_poll_interval), interval)
         while True:
             entries = {e["run"]: e for e in self.ps()["runs"]
                        if e["run"] in wanted}
@@ -121,9 +128,17 @@ class ServiceClient:
                     if e["state"] not in TERMINAL_STATES]
             if not live:
                 return entries
-            if time.monotonic() > deadline:
+            now = time.monotonic()
+            if now > deadline:
+                parts = []
+                for rid in live:
+                    entry = entries[rid]
+                    age = entry.get("heartbeat_age_seconds")
+                    beat = (f"last heartbeat {age:.1f}s ago"
+                            if age is not None else "no heartbeat")
+                    parts.append(f"{rid} [{entry['state']}, {beat}]")
                 raise ServiceError(
-                    f"timed out waiting for {live} "
-                    f"(states: {[entries[r]['state'] for r in live]})"
+                    "timed out waiting for " + ", ".join(parts)
                 )
-            time.sleep(poll_interval)
+            time.sleep(min(interval, max(deadline - now, 0.0)))
+            interval = min(interval * 2.0, cap)

@@ -36,6 +36,13 @@ import threading
 import time
 
 from repro.exec.accounting import LedgerError, WorkerLedger
+from repro.runtime.checkpoint_policy import CheckpointPolicy
+from repro.runtime.supervision import (
+    SupervisionPolicy,
+    Supervisor,
+    heartbeat_age,
+    read_heartbeat,
+)
 from repro.runtime.telemetry import JsonlFollower, read_events
 from repro.service import registry as reg
 from repro.service.launcher import resolve_launcher
@@ -70,11 +77,16 @@ class RunService:
         Optional :class:`FairShareScheduler` override (weights, aging).
     tick_interval:
         Seconds between supervision/scheduling rounds.
+    supervision:
+        ``None`` (default) supervises with the default
+        :class:`~repro.runtime.supervision.SupervisionPolicy`; pass a
+        policy instance to tune deadlines/strikes, or ``False`` to
+        disable external stall/budget enforcement entirely.
     """
 
     def __init__(self, root: str, total_workers: int = 4, *,
                  launcher="subprocess", scheduler=None,
-                 tick_interval: float = 0.05):
+                 tick_interval: float = 0.05, supervision=None):
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
         self.registry = RunRegistry(self.root)
@@ -82,8 +94,20 @@ class RunService:
         self.scheduler = scheduler or FairShareScheduler()
         self.launcher = resolve_launcher(launcher)
         self.tick_interval = float(tick_interval)
+        if supervision is False:
+            self._supervisor = None
+        elif supervision is None:
+            self._supervisor = Supervisor(SupervisionPolicy())
+        elif isinstance(supervision, SupervisionPolicy):
+            self._supervisor = Supervisor(supervision)
+        else:
+            self._supervisor = supervision  # a Supervisor (tests)
+        #: run_id -> supervision context for the live episode (budgets,
+        #: last observed heartbeat step, per-step cost bookkeeping)
+        self._run_meta: dict[str, dict] = {}
         self._handles: dict = {}
-        #: run_id -> intent behind the live drain ("preempt" | "cancel")
+        #: run_id -> intent behind the live drain
+        #: ("preempt" | "cancel" | "stall" | "budget")
         self._drain_intent: dict[str, str] = {}
         self._followers: dict[str, JsonlFollower] = {}
         self._started_at: dict[str, float] = {}
@@ -143,6 +167,32 @@ class RunService:
         while self._handles and time.monotonic() < deadline:
             self._tick()
             time.sleep(self.tick_interval)
+        with self._lock:
+            # handles still alive at the deadline get an unambiguous
+            # journal trail and their leases back: drain_timeout, hard
+            # kill, explicit release, and a requeue-or-preempt record
+            for run_id, handle in list(self._handles.items()):
+                self.registry.journal("drain_timeout", run=run_id,
+                                      timeout=float(timeout))
+                handle.kill()
+                self.ledger.release(run_id)
+                self._followers.pop(run_id, None)
+                self._drain_intent.pop(run_id, None)
+                self._started_at.pop(run_id, None)
+                self._run_meta.pop(run_id, None)
+                if self._supervisor is not None:
+                    self._supervisor.forget(run_id)
+                has_checkpoint = CheckpointPolicy.latest(
+                    self.registry.controller_dir(run_id)) is not None
+                next_state = (reg.PREEMPTED if has_checkpoint
+                              else reg.QUEUED)
+                try:
+                    self.registry.transition(
+                        run_id, next_state,
+                        note="killed at shutdown drain deadline")
+                except (IllegalTransitionError, UnknownRunError):
+                    pass
+                del self._handles[run_id]
         if self._tick_thread is not None:
             self._tick_thread.join(timeout=5.0)
         if self._sock is not None:
@@ -167,9 +217,73 @@ class RunService:
     def _tick(self) -> None:
         with self._lock:
             self._multiplex_telemetry()
+            self._supervise()
             self._reap()
             if not self._stop.is_set():
                 self._schedule()
+
+    # --------------------------------------------------- stall/budget watch
+    def _supervise(self) -> None:
+        """Heartbeat staleness + budget enforcement for live episodes.
+
+        Non-blocking by construction: one heartbeat read per handle per
+        tick, judged by the :class:`Supervisor` on the daemon's own
+        clock.  An ``io_stall``-wedged worker simply stops beating — the
+        tick loop itself never touches the stalled file.
+        """
+        if self._supervisor is None or self._stop.is_set():
+            return
+        policy = self._supervisor.policy
+        now_wall = time.time()
+        now_mono = time.monotonic()
+        for run_id, handle in list(self._handles.items()):
+            meta = self._run_meta.get(run_id)
+            if meta is None:
+                continue
+            hb = read_heartbeat(self.registry.controller_dir(run_id))
+            step = hb.get("step") if hb else None
+            if isinstance(step, int):
+                prev_step, prev_at = meta["hb_step"], meta["hb_at"]
+                if prev_step is None or step > prev_step:
+                    if prev_step is not None and step > prev_step:
+                        per_step = (now_mono - prev_at) / (step - prev_step)
+                        self.scheduler.calibrator.observe(
+                            "step", 0, max(meta["cells"], 1),
+                            per_step)
+                    meta["hb_step"], meta["hb_at"] = step, now_mono
+            budget_reason = None
+            started = self._started_at.get(run_id)
+            if meta["max_wall"] is not None and started is not None:
+                wall_used = meta["wall0"] + (now_wall - started)
+                if wall_used > meta["max_wall"]:
+                    budget_reason = "budget_exceeded"
+            if (budget_reason is None and meta["max_steps"] is not None
+                    and isinstance(step, int)
+                    and step > meta["max_steps"]):
+                # the controller should have stopped itself; external
+                # enforcement is for exactly the case where it didn't
+                budget_reason = "budget_exceeded"
+            rate = self.scheduler.calibrator.rate("step", 0)
+            per_step_seconds = (None if rate is None
+                                else rate * max(meta["cells"], 1))
+            verdict = self._supervisor.check(
+                run_id, hb, policy.deadline(per_step_seconds),
+                budget_reason=budget_reason)
+            if verdict is None:
+                continue
+            action, info = verdict
+            if action == "drain":
+                intent = ("budget" if info["reason"] == "budget_exceeded"
+                          else "stall")
+                self._drain_intent[run_id] = intent
+                event = ("budget_exceeded" if intent == "budget"
+                         else "stall_detected")
+                self.registry.journal(event, run=run_id, **info)
+                handle.preempt(info["reason"])
+            elif action == "kill":
+                self.registry.journal("supervisor_kill", run=run_id,
+                                      **info)
+                handle.kill()
 
     # ---------------------------------------------------------- supervision
     def _reap(self) -> None:
@@ -183,6 +297,9 @@ class RunService:
             self.ledger.release(run_id)
             intent = self._drain_intent.pop(run_id, None)
             started = self._started_at.pop(run_id, None)
+            self._run_meta.pop(run_id, None)
+            if self._supervisor is not None:
+                self._supervisor.forget(run_id)
             wall = float(result.get("wall") or (
                 time.time() - started if started else 0.0))
             try:
@@ -192,7 +309,9 @@ class RunService:
             self.scheduler.observe_run(record, wall)
             outcome = result.get("outcome", "failed")
             try:
-                if outcome == "failed":
+                if intent in ("stall", "budget"):
+                    self._reap_supervised(run_id, record, intent, result)
+                elif outcome == "failed":
                     self.registry.transition(
                         run_id, reg.FAILED, result=result,
                         note=str(result.get("error", ""))[:500])
@@ -214,6 +333,54 @@ class RunService:
                 self.registry.journal("reap_conflict", run=run_id,
                                       error=str(exc))
 
+    def _reap_supervised(self, run_id: str, record, intent: str,
+                         result: dict) -> None:
+        """Registry bookkeeping for an episode the supervisor ended.
+
+        ``budget`` quarantines immediately — re-running an over-budget
+        run would just exceed the budget again.  ``stall`` walks the
+        strike ladder: requeue with exponential backoff until the strike
+        budget is exhausted, then quarantine so a poisoned run can never
+        starve the queue.
+        """
+        policy = (self._supervisor.policy if self._supervisor is not None
+                  else SupervisionPolicy())
+        if result.get("outcome") == "done":
+            # the episode finished in the window between the drain request
+            # and the reap — completed work wins over the escalation
+            self.registry.transition(run_id, reg.DONE, result=result)
+            self.scheduler.forget(run_id)
+            return
+        if intent == "budget":
+            self.registry.transition(
+                run_id, reg.FAILED, result=result,
+                note="budget_exceeded")
+            self.scheduler.forget(run_id)
+            return
+        strikes = record.strikes + 1
+        if strikes >= policy.max_strikes:
+            self.registry.transition(
+                run_id, reg.FAILED, result=result,
+                note="stalled", strikes=strikes)
+            self.registry.journal("quarantined", run=run_id,
+                                  strikes=strikes,
+                                  max_strikes=policy.max_strikes)
+            self.scheduler.forget(run_id)
+            return
+        backoff = policy.backoff(strikes)
+        not_before = time.time() + backoff
+        has_checkpoint = CheckpointPolicy.latest(
+            self.registry.controller_dir(run_id)) is not None
+        next_state = reg.PREEMPTED if has_checkpoint else reg.QUEUED
+        self.registry.transition(
+            run_id, next_state, result=result,
+            note=f"stalled (strike {strikes}/{policy.max_strikes})",
+            strikes=strikes, not_before=not_before)
+        self.registry.journal("stall_requeue", run=run_id,
+                              strikes=strikes,
+                              backoff_seconds=round(backoff, 3),
+                              resumable=has_checkpoint)
+
     def _multiplex_telemetry(self, only: str | None = None) -> None:
         run_ids = [only] if only is not None else list(self._handles)
         for run_id in run_ids:
@@ -229,9 +396,11 @@ class RunService:
     # ----------------------------------------------------------- scheduling
     def _schedule(self) -> None:
         records = self.registry.list_runs()
+        now = time.time()
         queued = [r for r in records
                   if r.state in (reg.QUEUED, reg.PREEMPTED)
-                  and r.run_id not in self._handles]
+                  and r.run_id not in self._handles
+                  and (r.not_before is None or r.not_before <= now)]
         running = [r for r in records if r.state == reg.RUNNING]
         decision = self.scheduler.decide(
             queued, running, self.ledger.total,
@@ -260,13 +429,14 @@ class RunService:
                                   error=str(exc))
             return
         try:
-            self.registry.transition(run_id, reg.RUNNING)
+            record = self.registry.transition(run_id, reg.RUNNING)
         except IllegalTransitionError:
             self.ledger.release(run_id)  # cancelled between tick and apply
             return
         try:
             handle = self.launcher.launch(
-                run_id, spec, self.registry.controller_dir(run_id))
+                run_id, spec, self.registry.controller_dir(run_id),
+                attempt=record.attempts)
         except Exception as exc:
             self.ledger.release(run_id)
             self.registry.transition(
@@ -277,6 +447,19 @@ class RunService:
             return
         self._handles[run_id] = handle
         self._started_at[run_id] = time.time()
+        max_wall = spec.get("max_wall_seconds")
+        max_steps = spec.get("max_steps")
+        self._run_meta[run_id] = {
+            "cells": int(record.cells),
+            "max_steps": None if max_steps is None else int(max_steps),
+            "max_wall": None if max_wall is None else float(max_wall),
+            #: wall seconds already burned by earlier episodes
+            "wall0": float(record.wall),
+            "hb_step": None,
+            "hb_at": time.monotonic(),
+        }
+        if self._supervisor is not None:
+            self._supervisor.watch(run_id)
 
     # ------------------------------------------------------------- requests
     def handle_request(self, request: dict) -> dict:
@@ -324,18 +507,43 @@ class RunService:
 
     def _op_ps(self) -> dict:
         runs = []
-        for record in self.registry.list_runs():
+        records = self.registry.list_runs()
+        now = time.time()
+        schedulable = [r for r in records
+                       if r.state in (reg.QUEUED, reg.PREEMPTED)
+                       and r.run_id not in self._handles]
+        positions = self.scheduler.queue_positions(schedulable)
+        for record in records:
             entry = {
                 "run": record.run_id, "state": record.state,
                 "tenant": record.tenant, "priority": record.priority,
                 "workers": record.workers, "attempts": record.attempts,
                 "preemptions": record.preemptions,
+                "strikes": record.strikes,
                 "note": record.note,
             }
             if record.state in (reg.QUEUED, reg.PREEMPTED):
+                pos = positions.get(record.run_id)
+                if pos is not None:
+                    entry["queue_position"] = pos
+                if record.not_before is not None \
+                        and record.not_before > now:
+                    entry["held_seconds"] = round(
+                        record.not_before - now, 3)
                 est = self.scheduler.estimate_seconds(record)
                 if est is not None:
                     entry["eta_seconds"] = round(est, 3)
+            if record.state == reg.RUNNING:
+                hb = read_heartbeat(
+                    self.registry.controller_dir(record.run_id))
+                age = heartbeat_age(hb, now=now)
+                if age is not None:
+                    entry["heartbeat_age_seconds"] = round(age, 3)
+                if hb is not None:
+                    if hb.get("step") is not None:
+                        entry["heartbeat_step"] = hb["step"]
+                    if hb.get("phase"):
+                        entry["heartbeat_phase"] = hb["phase"]
             if record.result:
                 entry["result"] = {
                     k: record.result[k]

@@ -98,7 +98,8 @@ class InProcessLauncher:
 
     name = "inprocess"
 
-    def launch(self, run_id: str, spec: dict, run_dir: str) -> RunHandle:
+    def launch(self, run_id: str, spec: dict, run_dir: str,
+               attempt: int | None = None) -> RunHandle:
         if spec.get("faults"):
             raise ValueError(
                 "fault-carrying specs need the subprocess launcher: the "
@@ -151,7 +152,8 @@ class SubprocessLauncher:
     def __init__(self, python: str | None = None):
         self.python = python or sys.executable
 
-    def launch(self, run_id: str, spec: dict, run_dir: str) -> RunHandle:
+    def launch(self, run_id: str, spec: dict, run_dir: str,
+               attempt: int | None = None) -> RunHandle:
         # a stale result from a previous episode must never be mistaken
         # for this episode's outcome if the worker dies before writing
         try:
@@ -162,10 +164,15 @@ class SubprocessLauncher:
         # per-run chaos gate: fault specs are scoped to this child only
         env.pop("REPRO_FAULTS", None)
         env.pop("REPRO_FAULTS_SEED", None)
+        env.pop("REPRO_FAULT_ATTEMPT", None)
         if spec.get("faults"):
             env["REPRO_FAULTS"] = str(spec["faults"])
             if spec.get("fault_seed") is not None:
                 env["REPRO_FAULTS_SEED"] = str(spec["fault_seed"])
+        if attempt is not None:
+            # which RUNNING episode this is (1-based) — lets `attempt=N`
+            # fault sites fire in one episode but not its resume
+            env["REPRO_FAULT_ATTEMPT"] = str(int(attempt))
         src_root = os.path.dirname(os.path.dirname(os.path.dirname(
             os.path.abspath(__file__))))
         existing = env.get("PYTHONPATH", "")

@@ -107,6 +107,12 @@ class RunRecord:
     #: analytic size estimate (root cells) used before any run has been
     #: measured; the daemon feeds measured wall times into a WorkCalibrator
     cells: int = 0
+    #: stall strikes accumulated by the supervisor; quarantine at the
+    #: policy's max_strikes
+    strikes: int = 0
+    #: scheduler hold-down: a QUEUED/PREEMPTED run is not eligible to
+    #: start before this wall-clock time (supervisor requeue backoff)
+    not_before: float | None = None
     #: set when the run reaches a terminal state
     result: dict = field(default_factory=dict)
     #: why the last transition happened (preempt reason, failure message)
@@ -241,6 +247,7 @@ class RunRegistry:
             if new_state == RUNNING:
                 record.started_at = now
                 record.attempts += 1
+                record.not_before = None  # hold-down consumed
             if new_state == PREEMPTED:
                 record.preemptions += 1
             if new_state in TERMINAL_STATES:

@@ -128,7 +128,9 @@ class FairShareScheduler:
     def _effective_priority(self, record) -> int:
         if self.aging_rounds <= 0:
             return record.priority
-        return record.priority + self.wait_rounds[record.run_id] \
+        # .get, not [..]: read-only callers (queue_positions, ps) must not
+        # seed defaultdict entries for runs decide() never saw
+        return record.priority + self.wait_rounds.get(record.run_id, 0) \
             // self.aging_rounds
 
     def _order_key(self, record):
@@ -144,6 +146,16 @@ class FairShareScheduler:
             cost_key,
             record.seq,
         )
+
+    def queue_positions(self, queued) -> dict[str, int]:
+        """1-based admission-order position for each schedulable run.
+
+        The same ordering :meth:`decide` scans in, computed without
+        mutating any scheduler state — this feeds the ``ps`` display,
+        not an actual scheduling round.
+        """
+        ordered = sorted(queued, key=self._order_key)
+        return {r.run_id: i + 1 for i, r in enumerate(ordered)}
 
     # -------------------------------------------------------------- decide
     def decide(self, queued, running, total_workers: int,

@@ -7,6 +7,7 @@ A run spec is the complete, self-contained recipe for a run::
      "z_end": 80.0,                    # collapse: stop redshift
      "t_end": 0.5,                     # simulation: stop time (code units)
      "max_steps": 40,                  # root-step budget (optional)
+     "max_wall_seconds": 3600,         # wall budget, enforced daemon-side
      "checkpoint_every": 2,            # checkpoint cadence
      "keep_last": 3,                   # checkpoint retention
      "preset": "blob",                 # simulation: named initial state
@@ -145,7 +146,12 @@ class RunJob:
         without reloading checkpoints.
         """
         from repro.runtime.recovery import RunFailedError
+        from repro.runtime.supervision import HeartbeatWriter
 
+        # liveness during construction: initial conditions + the first
+        # hierarchy rebuild can take a while, and a worker that wedges
+        # there must still look alive-then-stalled to the supervisor
+        HeartbeatWriter(self.run_dir).beat(phase="build", force=True)
         problem, controller, t_end = build_job(self.spec, self.run_dir)
         self.controller = controller
         if self._drain_reason is not None:

@@ -503,6 +503,205 @@ class TestChaosContainment:
         assert "without a result" in result["error"]
 
 
+# ------------------------------------------------------------- supervision
+def tight_policy(**overrides):
+    """A supervision policy scaled to test time: fixed short staleness
+    deadline (floor == ceiling, so calibration cannot stretch it), short
+    grace, fast requeue backoff."""
+    from repro.runtime.supervision import SupervisionPolicy
+
+    kwargs = dict(deadline_floor=4.0, deadline_ceiling=4.0,
+                  grace_seconds=0.5, max_strikes=3,
+                  backoff_base=0.05, backoff_cap=0.2)
+    kwargs.update(overrides)
+    return SupervisionPolicy(**kwargs)
+
+
+class TestSupervision:
+    def _hang_kill_resume_identity(self, tmp_path, backend):
+        """Acceptance: a run hung by an injected fault is detected,
+        killed, requeued with backoff and resumed bit-exactly."""
+        overrides = {}
+        if backend != "serial":
+            overrides = {"kwargs": {**blob_spec()["kwargs"],
+                                    "exec_backend": backend, "workers": 2}}
+        clean = blob_spec(max_steps=8, **overrides)
+        reference = RunJob(clean, str(tmp_path / "ref")).execute()
+        assert reference["outcome"] == "done"
+
+        hung = dict(clean)
+        # wedge episode 1 inside root step 3 for longer than any drain
+        # can wait; episode 2 (the supervised requeue) runs clean
+        hung["faults"] = "hang:level=0,step=3,seconds=120,attempt=1"
+        service, client = start_service(
+            tmp_path, total_workers=2, launcher="subprocess",
+            tick_interval=0.05, supervision=tight_policy())
+        try:
+            rid = client.submit(hung, tenant="chaos")
+            entry = client.wait(rid, timeout=300)[rid]
+        finally:
+            service.shutdown()
+        assert entry["state"] == DONE
+        assert entry["attempts"] >= 2, "the hung episode was never killed"
+        assert entry["result"]["fingerprint"] == reference["fingerprint"], \
+            "supervised kill-resume diverged from an uninterrupted run"
+        events = read_events(service.registry.journal_path)
+        kinds = {e["event"] for e in events if e.get("run") == rid}
+        assert "stall_detected" in kinds
+        assert "supervisor_kill" in kinds
+        assert "stall_requeue" in kinds
+
+    def test_hang_kill_resume_identity_serial(self, tmp_path):
+        self._hang_kill_resume_identity(tmp_path, "serial")
+
+    def test_hang_kill_resume_identity_process(self, tmp_path):
+        self._hang_kill_resume_identity(tmp_path, "process")
+
+    def test_io_stall_contained_and_tick_loop_stays_live(self, tmp_path):
+        """A checkpoint write wedged on dead storage stalls only its own
+        run: the daemon tick keeps scheduling, a co-scheduled clean run
+        finishes untouched, and the stalled run recovers on attempt 2."""
+        clean = blob_spec(max_steps=6)
+        stalled = dict(clean)
+        stalled["faults"] = "io_stall:step=2,seconds=120,attempt=1"
+        service, client = start_service(
+            tmp_path, total_workers=2, launcher="subprocess",
+            tick_interval=0.05, supervision=tight_policy())
+        try:
+            bad = client.submit(stalled, tenant="chaos")
+            good = client.submit(clean, tenant="clean")
+            good_entry = client.wait(good, timeout=120)[good]
+            assert good_entry["state"] == DONE, \
+                "clean run starved behind an io_stall — tick loop wedged"
+            assert good_entry["preemptions"] == 0
+            bad_entry = client.wait(bad, timeout=300)[bad]
+        finally:
+            service.shutdown()
+        assert bad_entry["state"] == DONE
+        assert bad_entry["attempts"] >= 2
+        assert bad_entry["result"]["fingerprint"] == \
+            good_entry["result"]["fingerprint"]
+
+    def test_retry_budget_exhaustion_quarantines(self, tmp_path):
+        """A run that hangs on every attempt walks the full strike
+        ladder into quarantine, with the trail journalled."""
+        spec = blob_spec(max_steps=8)
+        spec["faults"] = "hang:level=0,step=1,seconds=120,count=99"
+        service, client = start_service(
+            tmp_path, total_workers=2, launcher="subprocess",
+            tick_interval=0.05,
+            supervision=tight_policy(max_strikes=2))
+        try:
+            rid = client.submit(spec, tenant="chaos")
+            deadline = time.monotonic() + 300
+            while time.monotonic() < deadline:
+                entry = client.status(rid)
+                if entry["state"] in TERMINAL_STATES:
+                    break
+                time.sleep(0.1)
+        finally:
+            service.shutdown()
+        assert entry["state"] == FAILED
+        assert entry["note"] == "stalled"
+        assert entry["strikes"] == 2
+        events = [e for e in read_events(service.registry.journal_path)
+                  if e.get("run") == rid]
+        kinds = [e["event"] for e in events]
+        assert kinds.count("stall_detected") >= 2
+        assert "stall_requeue" in kinds
+        assert "quarantined" in kinds
+        # the lease came back: nothing still holds a worker
+        assert service.ledger.in_use() == 0
+
+    def test_wall_budget_enforced_daemon_side(self, tmp_path):
+        """max_wall_seconds from the spec is policed by the daemon: the
+        run is drained and quarantined as budget_exceeded."""
+        spec = blob_spec(max_steps=200)
+        spec["max_wall_seconds"] = 0.3
+        service, client = start_service(tmp_path, total_workers=2)
+        try:
+            rid = client.submit(spec)
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                entry = client.status(rid)
+                if entry["state"] in TERMINAL_STATES:
+                    break
+                time.sleep(0.05)
+        finally:
+            service.shutdown()
+        assert entry["state"] == FAILED
+        assert entry["note"] == "budget_exceeded"
+        events = [e for e in read_events(service.registry.journal_path)
+                  if e.get("run") == rid]
+        assert any(e["event"] == "budget_exceeded" for e in events)
+
+    def test_ps_reports_heartbeat_and_queue_position(self, tmp_path):
+        service, client = start_service(tmp_path, total_workers=1)
+        try:
+            running = client.submit(blob_spec(max_steps=8))
+            queued = client.submit(blob_spec(max_steps=8))
+            wait_for_state(client, running, RUNNING)
+            deadline = time.monotonic() + 60
+            entry = None
+            while time.monotonic() < deadline:
+                entry = client.status(running)
+                if entry["state"] != RUNNING:
+                    break  # already finished: heartbeat column is moot
+                if "heartbeat_age_seconds" in entry:
+                    break
+                time.sleep(0.05)
+            if entry["state"] == RUNNING:
+                assert entry["heartbeat_age_seconds"] >= 0.0
+            queued_entry = client.status(queued)
+            if queued_entry["state"] == QUEUED:
+                assert queued_entry["queue_position"] == 1
+            client.cancel(queued)
+            client.wait(running, timeout=120)
+        finally:
+            service.shutdown()
+
+    def test_wait_timeout_names_states_and_heartbeats(self, tmp_path):
+        from repro.service import ServiceError
+
+        service, client = start_service(tmp_path, total_workers=1)
+        try:
+            rid = client.submit(blob_spec(max_steps=12))
+            wait_for_state(client, rid, RUNNING)
+            with pytest.raises(ServiceError) as err:
+                client.wait(rid, timeout=0.2)
+            message = str(err.value)
+            assert rid in message
+            assert RUNNING in message
+            assert "heartbeat" in message
+            client.wait(rid, timeout=120)
+        finally:
+            service.shutdown()
+
+    def test_shutdown_drain_timeout_is_journalled(self, tmp_path):
+        """Satellite fix: a handle still alive at the shutdown drain
+        deadline gets a distinct drain_timeout event, a hard kill, an
+        explicit lease release, and an unambiguous requeue state."""
+        spec = blob_spec(max_steps=8)
+        spec["faults"] = "hang:level=0,step=0,seconds=120"
+        service, client = start_service(
+            tmp_path, total_workers=2, launcher="subprocess",
+            tick_interval=0.05)  # default (generous) supervision
+        try:
+            rid = client.submit(spec, tenant="chaos")
+            wait_for_state(client, rid, RUNNING)
+            wait_for_checkpoint(service, rid)  # past the step-0 pair:
+            # the worker is now wedged inside root step 0's level sweep
+        finally:
+            service.shutdown(drain=True, timeout=1.0)
+        events = read_events(service.registry.journal_path)
+        assert any(e["event"] == "drain_timeout" and e.get("run") == rid
+                   for e in events)
+        assert service.ledger.in_use() == 0
+        record = RunRegistry(service.root).load(rid)
+        assert record.state in (QUEUED, PREEMPTED)
+        assert not service._handles
+
+
 # ---------------------------------------------------------------- recovery
 class TestDaemonCrashRestart:
     def test_second_daemon_resumes_orphaned_run(self, tmp_path):
